@@ -1,0 +1,91 @@
+// Command pretzel-server loads a model repository (zips exported by
+// pretzel-train), compiles every pipeline into a model plan sharing
+// parameters through the Object Store, and serves predictions over HTTP:
+//
+//	POST /predict {"model":"sa-001","input":"a nice product"}
+//	GET  /healthz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"pretzel"
+	"pretzel/internal/frontend"
+	"pretzel/internal/ops"
+	"pretzel/internal/oven"
+	"pretzel/internal/pipeline"
+	"pretzel/internal/store"
+)
+
+func main() {
+	var (
+		dir        = flag.String("models", "models", "model repository directory")
+		addr       = flag.String("addr", ":8080", "listen address")
+		executors  = flag.Int("executors", 8, "batch-engine executors")
+		cache      = flag.Int("cache", 4096, "prediction cache entries (0 = off)")
+		delay      = flag.Duration("batch-delay", 0, "delayed batching window (0 = request-response)")
+		materalize = flag.Bool("materialize", false, "compile for sub-plan materialization")
+	)
+	flag.Parse()
+
+	entries, err := os.ReadDir(*dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	objStore := pretzel.NewObjectStore()
+	cfg := pretzel.RuntimeConfig{Executors: *executors}
+	if *materalize {
+		cfg.MatCacheBytes = 256 << 20
+	}
+	rt := pretzel.NewRuntime(objStore, cfg)
+	defer rt.Close()
+
+	opts := oven.DefaultOptions()
+	opts.Materialization = *materalize
+	// Share operator instances across model files by serialized-bytes
+	// checksum (§4.1.3): loading 250 similar pipelines deserializes each
+	// distinct dictionary once.
+	opCache := store.NewOpCache()
+	resolve := func(kind string, raw []byte) (ops.Op, error) {
+		return opCache.GetOrBuild(kind, store.HashRaw(raw), func() (ops.Op, error) {
+			return pipeline.DefaultResolver(kind, raw)
+		})
+	}
+	n := 0
+	t0 := time.Now()
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".zip") {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(*dir, e.Name()))
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := pipeline.ImportBytesWith(raw, resolve)
+		if err != nil {
+			log.Fatalf("%s: %v", e.Name(), err)
+		}
+		pln, err := pretzel.Compile(p, objStore, opts)
+		if err != nil {
+			log.Fatalf("%s: %v", e.Name(), err)
+		}
+		if _, err := rt.Register(pln); err != nil {
+			log.Fatalf("%s: %v", e.Name(), err)
+		}
+		n++
+	}
+	st := objStore.Stats()
+	fmt.Printf("registered %d plans in %v (object store: %d unique params, %d dedup hits)\n",
+		n, time.Since(t0).Round(time.Millisecond), st.Unique, st.Hits)
+
+	fe := pretzel.NewFrontEnd(rt, frontend.Config{CacheEntries: *cache, BatchDelay: *delay})
+	fmt.Printf("serving on %s\n", *addr)
+	log.Fatal(http.ListenAndServe(*addr, fe))
+}

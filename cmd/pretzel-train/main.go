@@ -1,0 +1,80 @@
+// Command pretzel-train generates and trains the evaluation workloads
+// (250 Sentiment Analysis + 250 Attendee Count pipelines) and exports
+// them as ML.Net-style model files (one zip per pipeline) into a model
+// repository directory, ready for pretzel-server or pretzel-bench.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"pretzel/internal/workload"
+)
+
+func main() {
+	var (
+		out   = flag.String("out", "models", "output model repository directory")
+		quick = flag.Bool("quick", false, "small scale (few, tiny models)")
+		sa    = flag.Int("sa", 0, "override SA pipeline count")
+		ac    = flag.Int("ac", 0, "override AC pipeline count")
+	)
+	flag.Parse()
+
+	sc := workload.BenchScale()
+	if *quick {
+		sc = workload.SmallScale()
+	}
+	if *sa > 0 {
+		sc.SACount = *sa
+	}
+	if *ac > 0 {
+		sc.ACCount = *ac
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("training %d SA pipelines...\n", sc.SACount)
+	saSet, err := workload.BuildSA(sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("training %d AC pipelines...\n", sc.ACCount)
+	acSet, err := workload.BuildAC(sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var total int64
+	for _, p := range saSet.Pipelines {
+		n, err := export(*out, p.Name, p.ExportBytes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		total += n
+	}
+	for _, p := range acSet.Pipelines {
+		n, err := export(*out, p.Name, p.ExportBytes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		total += n
+	}
+	fmt.Printf("exported %d model files (%.1f MB) to %s\n",
+		sc.SACount+sc.ACCount, float64(total)/(1<<20), *out)
+}
+
+func export(dir, name string, bytesOf func() ([]byte, error)) (int64, error) {
+	b, err := bytesOf()
+	if err != nil {
+		return 0, fmt.Errorf("exporting %s: %w", name, err)
+	}
+	path := filepath.Join(dir, name+".zip")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return 0, err
+	}
+	return int64(len(b)), nil
+}

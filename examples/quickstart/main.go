@@ -1,0 +1,95 @@
+// Quickstart: author a sentiment-analysis pipeline with Flour, train its
+// pieces, compile it into a PRETZEL model plan and serve predictions.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pretzel"
+	"pretzel/internal/dataset"
+	"pretzel/internal/ml"
+	"pretzel/internal/text"
+)
+
+func main() {
+	// 1. Training data: a synthetic review corpus.
+	corpus := dataset.NewReviewCorpus(2000, 1)
+	reviews := corpus.Generate(1500, 30)
+
+	// 2. Train the featurizer dictionaries (char 2-3-grams, word 1-2-grams).
+	cb, wb := text.NewDictBuilder(), text.NewDictBuilder()
+	docs := make([][]string, len(reviews))
+	for i, r := range reviews {
+		toks := text.Tokenize(r.Text, nil)
+		docs[i] = toks
+		for _, tok := range toks {
+			text.ObserveCharNgrams(cb, []byte(tok), 2, 3)
+		}
+		text.ObserveWordNgrams(wb, toks, 2, nil)
+	}
+	charDict, wordDict := cb.Build(20000), wb.Build(15000)
+	charDim := charDict.Size()
+
+	// 3. Train a logistic-regression model over the concatenated features.
+	charCfg := text.CharNgramConfig{MinN: 2, MaxN: 3, Dict: charDict}
+	wordCfg := text.WordNgramConfig{MaxN: 2, Dict: wordDict}
+	samples := make([]ml.Sample, len(reviews))
+	var scratch []byte
+	for i, toks := range docs {
+		var idx []int32
+		var val []float32
+		charCfg.ExtractTokens(toks, func(ix int32) { idx = append(idx, ix); val = append(val, 1) })
+		scratch = wordCfg.ExtractTokens(toks, scratch, func(ix int32) {
+			idx = append(idx, int32(charDim)+ix)
+			val = append(val, 1)
+		})
+		samples[i] = ml.Sample{Idx: idx, Val: val, Label: reviews[i].Label}
+	}
+	model, err := ml.TrainLinear(samples, ml.LinearOptions{
+		Kind:   ml.LogisticRegression,
+		Dim:    charDim + wordDict.Size(),
+		Epochs: 5, LearnRate: 0.3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Author the pipeline in Flour (Listing 1 of the paper) and
+	//    compile it: the optimizer pushes the linear model through Concat
+	//    and fuses the featurizers into two stages.
+	objStore := pretzel.NewObjectStore()
+	fc := pretzel.NewFlourContext(objStore)
+	tok := fc.Text().Tokenize()
+	prg := tok.CharNgram(charDict, 2, 3).
+		Concat(tok.WordNgram(wordDict, 2)).
+		ClassifierBinaryLinear(model)
+	pln, err := prg.Plan("quickstart-sa", pretzel.DefaultCompileOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled %q: %d logical operators -> %d physical stages\n",
+		pln.Name, 5, len(pln.Stages))
+	for i, s := range pln.Stages {
+		fmt.Printf("  stage %d: kernel=%s\n", i, s.Kern.Kind())
+	}
+
+	// 5. Register and serve.
+	rt := pretzel.NewRuntime(objStore, pretzel.RuntimeConfig{Executors: 4})
+	defer rt.Close()
+	if _, err := rt.Register(pln); err != nil {
+		log.Fatal(err)
+	}
+	in, out := pretzel.NewVector(), pretzel.NewVector()
+	for _, s := range []string{
+		"this is a nice product, works great and i love it",
+		"terrible quality, broken on arrival, want a refund",
+		"an average thing, nothing special about it",
+	} {
+		in.SetText(s)
+		if err := rt.Predict("quickstart-sa", in, out); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("P(positive)=%.3f  %q\n", out.Dense[0], s)
+	}
+}

@@ -1,0 +1,345 @@
+package blackbox
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pretzel/internal/ml"
+	"pretzel/internal/ops"
+	"pretzel/internal/pipeline"
+	"pretzel/internal/schema"
+	"pretzel/internal/text"
+	"pretzel/internal/vector"
+)
+
+// buildSA constructs a small SA pipeline and returns it with its exported
+// bytes.
+func buildSA(t testing.TB, name string) (*pipeline.Pipeline, []byte) {
+	t.Helper()
+	corpus := []string{
+		"nice product works great wonderful",
+		"terrible broken refund bad awful",
+		"the quick brown fox jumps over the lazy dog",
+	}
+	cb := text.NewDictBuilder()
+	wb := text.NewDictBuilder()
+	for _, doc := range corpus {
+		toks := text.Tokenize(doc, nil)
+		for _, tok := range toks {
+			text.ObserveCharNgrams(cb, []byte(tok), 2, 3)
+		}
+		text.ObserveWordNgrams(wb, toks, 2, nil)
+	}
+	cd, wd := cb.Build(0), wb.Build(0)
+	weights := make([]float32, cd.Size()+wd.Size())
+	if ix := wd.Lookup("nice"); ix >= 0 {
+		weights[cd.Size()+int(ix)] = 3
+	}
+	if ix := wd.Lookup("bad"); ix >= 0 {
+		weights[cd.Size()+int(ix)] = -3
+	}
+	p := &pipeline.Pipeline{
+		Name:        name,
+		InputSchema: schema.Text("Text"),
+		Stats:       pipeline.Stats{MaxVectorSize: cd.Size() + wd.Size(), SparseOutput: true},
+		Nodes: []pipeline.Node{
+			{Op: &ops.Tokenizer{}, Inputs: []int{pipeline.InputID}},
+			{Op: &ops.CharNgram{MinN: 2, MaxN: 3, Dict: cd}, Inputs: []int{0}},
+			{Op: &ops.WordNgram{MaxN: 2, Dict: wd}, Inputs: []int{0}},
+			{Op: &ops.Concat{Dims: []int{cd.Size(), wd.Size()}}, Inputs: []int{1, 2}},
+			{Op: &ops.LinearPredictor{Model: &ml.LinearModel{Kind: ml.LogisticRegression, Weights: weights}}, Inputs: []int{3}},
+		},
+	}
+	raw, err := p.ExportBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, raw
+}
+
+func TestEngineMatchesReferenceRun(t *testing.T) {
+	p, raw := buildSA(t, "m0")
+	e := NewEngine()
+	if err := e.Load("m0", raw); err != nil {
+		t.Fatal(err)
+	}
+	in, got, want := vector.New(0), vector.New(0), vector.New(0)
+	for _, s := range []string{"a nice day", "a bad day", "nothing special"} {
+		in.SetText(s)
+		if err := e.Predict("m0", in, got); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Run(in, want, nil); err != nil {
+			t.Fatal(err)
+		}
+		if got.Dense[0] != want.Dense[0] {
+			t.Fatalf("%q: engine %v reference %v", s, got.Dense[0], want.Dense[0])
+		}
+	}
+}
+
+func TestEngineColdHotGap(t *testing.T) {
+	_, raw := buildSA(t, "m")
+	e := NewEngine()
+	if err := e.Load("m", raw); err != nil {
+		t.Fatal(err)
+	}
+	in, out := vector.New(0), vector.New(0)
+	in.SetText("nice nice bad")
+	t0 := time.Now()
+	if err := e.Predict("m", in, out); err != nil {
+		t.Fatal(err)
+	}
+	cold := time.Since(t0)
+	// Warm up then measure hot.
+	for i := 0; i < 10; i++ {
+		if err := e.Predict("m", in, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t1 := time.Now()
+	const hotN = 50
+	for i := 0; i < hotN; i++ {
+		if err := e.Predict("m", in, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hot := time.Since(t1) / hotN
+	if cold < 2*hot {
+		t.Fatalf("cold (%v) should be well above hot (%v)", cold, hot)
+	}
+	cs, err := e.ColdStatsFor("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Init <= 0 || cs.Total() <= cs.Init {
+		t.Fatalf("cold stats not recorded: %+v", cs)
+	}
+}
+
+func TestEngineErrors(t *testing.T) {
+	e := NewEngine()
+	in, out := vector.New(0), vector.New(0)
+	in.SetText("x")
+	if err := e.Predict("missing", in, out); err == nil {
+		t.Fatal("unknown model must error")
+	}
+	_, raw := buildSA(t, "m")
+	if err := e.Load("m", raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Load("m", raw); err == nil {
+		t.Fatal("duplicate load must error")
+	}
+	if err := e.Load("corrupt", []byte("junk")); err != nil {
+		t.Fatal("load stores bytes; corruption surfaces at first predict")
+	}
+	if err := e.Predict("corrupt", in, out); err == nil {
+		t.Fatal("corrupt model must fail at materialization")
+	}
+	// Wrong input kind must propagate the operator error.
+	in.SetDense([]float32{1})
+	if err := e.Predict("m", in, out); err == nil || !strings.Contains(err.Error(), "Tokenizer") {
+		t.Fatalf("expected Tokenizer error, got %v", err)
+	}
+	if _, err := e.ColdStatsFor("missing"); err == nil {
+		t.Fatal("cold stats for unknown model must error")
+	}
+	e2 := NewEngine()
+	if err := e2.Load("m", raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.ColdStatsFor("m"); err == nil {
+		t.Fatal("cold stats before materialization must error")
+	}
+}
+
+func TestEnginePerWorkerCopies(t *testing.T) {
+	_, raw := buildSA(t, "m")
+	e := NewEngine()
+	if err := e.Load("m", raw); err != nil {
+		t.Fatal(err)
+	}
+	in, out := vector.New(0), vector.New(0)
+	in.SetText("nice")
+	if err := e.PredictOn(0, "m", in, out); err != nil {
+		t.Fatal(err)
+	}
+	mem1 := e.MemBytes()
+	if err := e.PredictOn(1, "m", in, out); err != nil {
+		t.Fatal(err)
+	}
+	mem2 := e.MemBytes()
+	if mem2 <= mem1 {
+		t.Fatalf("second worker must duplicate model objects: %d -> %d", mem1, mem2)
+	}
+	m := e.models["m"]
+	if m.instances[0] == m.instances[1] || m.instances[0].pipe == m.instances[1].pipe {
+		t.Fatal("workers must not share instances")
+	}
+}
+
+func TestEngineUnloadAndNames(t *testing.T) {
+	_, raw := buildSA(t, "m")
+	e := NewEngine()
+	if err := e.Load("m", raw); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Names()) != 1 {
+		t.Fatal("names")
+	}
+	e.Unload("m")
+	if len(e.Names()) != 0 {
+		t.Fatal("unload")
+	}
+}
+
+func TestPerOpTimings(t *testing.T) {
+	_, raw := buildSA(t, "m")
+	e := NewEngine()
+	var mu sync.Mutex
+	got := map[string]time.Duration{}
+	e.PerOpTimings = func(model string, kinds []string, d []time.Duration) {
+		mu.Lock()
+		defer mu.Unlock()
+		for i, k := range kinds {
+			got[k] += d[i]
+		}
+	}
+	if err := e.Load("m", raw); err != nil {
+		t.Fatal(err)
+	}
+	in, out := vector.New(0), vector.New(0)
+	in.SetText("a nice product that is great")
+	if err := e.Predict("m", in, out); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, k := range []string{"Tokenizer", "CharNgram", "WordNgram", "Concat", "LinearPredictor"} {
+		if _, ok := got[k]; !ok {
+			t.Fatalf("missing timing for %s: %v", k, got)
+		}
+	}
+}
+
+func TestEngineConcurrentPredicts(t *testing.T) {
+	_, raw := buildSA(t, "m")
+	e := NewEngine()
+	if err := e.Load("m", raw); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			in, out := vector.New(0), vector.New(0)
+			for i := 0; i < 100; i++ {
+				in.SetText("nice bad nice product")
+				if err := e.PredictOn(worker, "m", in, out); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestContainerPredict(t *testing.T) {
+	p, raw := buildSA(t, "m")
+	o := NewOrchestrator()
+	if err := o.Deploy("m", raw); err != nil {
+		t.Fatal(err)
+	}
+	defer o.StopAll()
+	if err := o.Deploy("m", raw); err == nil {
+		t.Fatal("duplicate deploy must error")
+	}
+	pred, err := o.Predict("m", "a nice day")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, want := vector.New(0), vector.New(0)
+	in.SetText("a nice day")
+	if err := p.Run(in, want, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(pred) != 1 || pred[0] != want.Dense[0] {
+		t.Fatalf("container prediction %v, want %v", pred, want.Dense[0])
+	}
+	if _, err := o.Predict("missing", "x"); err != nil {
+		// expected
+	} else {
+		t.Fatal("unknown container must error")
+	}
+	if o.Count() != 1 {
+		t.Fatal("count")
+	}
+}
+
+func TestContainerBallastInMemBytes(t *testing.T) {
+	_, raw := buildSA(t, "m")
+	o := NewOrchestrator()
+	if err := o.Deploy("m", raw); err != nil {
+		t.Fatal(err)
+	}
+	defer o.StopAll()
+	if err := o.Warm("m"); err != nil {
+		t.Fatal(err)
+	}
+	if o.MemBytes() < ContainerBallastBytes {
+		t.Fatalf("MemBytes %d must include %d ballast", o.MemBytes(), ContainerBallastBytes)
+	}
+	// Plain engine with the same model must be far smaller.
+	e := NewEngine()
+	if err := e.Load("m", raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Warm("m"); err != nil {
+		t.Fatal(err)
+	}
+	if e.MemBytes() >= o.MemBytes() {
+		t.Fatalf("container (%d) must cost more than plain engine (%d)", o.MemBytes(), e.MemBytes())
+	}
+}
+
+func TestContainerModelError(t *testing.T) {
+	o := NewOrchestrator()
+	if err := o.Deploy("bad", []byte("garbage")); err != nil {
+		t.Fatal("deploy stores bytes; corruption surfaces at first predict")
+	}
+	defer o.StopAll()
+	if _, err := o.Predict("bad", "hello"); err == nil {
+		t.Fatal("corrupt model must fail")
+	}
+	if err := o.Warm("missing"); err == nil {
+		t.Fatal("warming unknown container must error")
+	}
+}
+
+func TestContainerConcurrentClients(t *testing.T) {
+	_, raw := buildSA(t, "m")
+	o := NewOrchestrator()
+	if err := o.Deploy("m", raw); err != nil {
+		t.Fatal(err)
+	}
+	defer o.StopAll()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := o.Predict("m", "nice product"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,357 @@
+// Package blackbox implements the two baselines PRETZEL is evaluated
+// against (§5):
+//
+//   - Engine: an ML.Net-style black-box serving engine. Pipelines are
+//     deployed "as in the training phase": prediction pulls records
+//     through one operator at a time (Volcano-style), intermediate
+//     vectors are materialized per operator edge, and the first
+//     prediction pays initialization — parameter materialization from the
+//     model file, reflection-driven pipeline analysis ("type inference")
+//     and function-chain construction ("JIT compilation"). Each serving
+//     thread materializes its own copy of the model objects, which is
+//     exactly the memory/cache behaviour §5.3 blames for ML.Net's poor
+//     scaling ("even if the parameters are the same, the model objects
+//     are allocated to different memory areas").
+//
+//   - Orchestrator (container.go): a Clipper-style container deployment,
+//     one containerized Engine per model behind a serialized RPC
+//     boundary, with fixed per-container runtime ballast.
+//
+// No synthetic sleeps anywhere: every cost is real work (deserialization,
+// reflection, allocation, copying, encoding).
+package blackbox
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+	"sync"
+	"time"
+
+	"pretzel/internal/pipeline"
+	"pretzel/internal/vector"
+)
+
+// ColdStats splits the one-time first-prediction cost of a model instance
+// into the phases §2 reports (57.4% analysis/initialization, 36.5% JIT,
+// rest compute for ML.Net).
+type ColdStats struct {
+	Init    time.Duration // parameter materialization + buffer setup
+	Analyze time.Duration // pipeline analysis: schema validation + reflection
+	Chain   time.Duration // function-chain construction ("JIT")
+}
+
+// Total returns the summed one-time cost.
+func (c ColdStats) Total() time.Duration { return c.Init + c.Analyze + c.Chain }
+
+// step is one compiled element of the function chain.
+type step struct {
+	op     opInvoker
+	inputs []int // producer node ids; pipeline.InputID = request input
+	kind   string
+}
+
+// opInvoker is the call target the chain dispatches to.
+type opInvoker func(in []*vector.Vector, out *vector.Vector) error
+
+// instance is one serving thread's private materialization of a model.
+type instance struct {
+	pipe    *pipeline.Pipeline
+	chain   []step
+	scratch []*vector.Vector // per-edge intermediate vectors (reused)
+	inBuf   [4]*vector.Vector
+	cold    ColdStats
+}
+
+// Model is one deployed black-box pipeline. The model file lives either
+// in memory (Load) or on disk (LoadFile, the realistic model-repository
+// deployment); per-worker instances materialize lazily at first
+// prediction, paying deserialization — and for disk-backed models, file
+// I/O — on the cold path.
+type Model struct {
+	name string
+	raw  []byte
+	path string
+
+	mu        sync.Mutex
+	instances map[int]*instance
+}
+
+// bytes fetches the model file content (reading from disk when
+// file-backed).
+func (m *Model) bytes() ([]byte, error) {
+	if m.path != "" {
+		return os.ReadFile(m.path)
+	}
+	return m.raw, nil
+}
+
+// Engine is the ML.Net-style serving engine.
+type Engine struct {
+	mu     sync.RWMutex
+	models map[string]*Model
+
+	// PerOpTimings, when set, receives per-operator wall-clock for every
+	// prediction (Fig. 5 latency breakdown). Must be set before serving.
+	PerOpTimings func(model string, kinds []string, d []time.Duration)
+}
+
+// NewEngine returns an empty engine.
+func NewEngine() *Engine {
+	return &Engine{models: make(map[string]*Model)}
+}
+
+// Load deploys a model from its exported bytes. Deployment is cheap (the
+// bytes are stored); materialization happens at first prediction, like
+// ML.Net's lazy function-chain initialization.
+func (e *Engine) Load(name string, raw []byte) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.models[name]; dup {
+		return fmt.Errorf("blackbox: model %q already loaded", name)
+	}
+	e.models[name] = &Model{name: name, raw: raw, instances: make(map[int]*instance)}
+	return nil
+}
+
+// LoadFile deploys a disk-backed model: the file stays on disk (the model
+// repository) and is read at materialization time.
+func (e *Engine) LoadFile(name, path string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.models[name]; dup {
+		return fmt.Errorf("blackbox: model %q already loaded", name)
+	}
+	e.models[name] = &Model{name: name, path: path, instances: make(map[int]*instance)}
+	return nil
+}
+
+// Unload removes a model (the "unload after idle period" policy of §2).
+func (e *Engine) Unload(name string) {
+	e.mu.Lock()
+	delete(e.models, name)
+	e.mu.Unlock()
+}
+
+// Names returns the deployed model names.
+func (e *Engine) Names() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]string, 0, len(e.models))
+	for n := range e.models {
+		out = append(out, n)
+	}
+	return out
+}
+
+// model fetches a deployed model.
+func (e *Engine) model(name string) (*Model, error) {
+	e.mu.RLock()
+	m, ok := e.models[name]
+	e.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("blackbox: model %q not loaded", name)
+	}
+	return m, nil
+}
+
+// materialize builds a fresh instance for one worker: deserializes the
+// parameters (every worker gets its own copies — the black-box memory
+// behaviour), analyzes the pipeline and compiles the function chain.
+func (m *Model) materialize() (*instance, error) {
+	inst := &instance{}
+
+	// Phase 1 — initialization: materialize parameters from the model
+	// file (dictionary hash maps, weight arrays, tree arrays) and set up
+	// the per-edge intermediate vectors.
+	t0 := time.Now()
+	raw, err := m.bytes()
+	if err != nil {
+		return nil, fmt.Errorf("blackbox: reading %s: %w", m.name, err)
+	}
+	pipe, err := pipeline.ImportBytes(raw)
+	if err != nil {
+		return nil, fmt.Errorf("blackbox: materializing %s: %w", m.name, err)
+	}
+	inst.pipe = pipe
+	inst.scratch = make([]*vector.Vector, len(pipe.Nodes))
+	for i := range inst.scratch {
+		inst.scratch[i] = vector.New(64)
+	}
+	inst.cold.Init = time.Since(t0)
+
+	// Phase 2 — pipeline analysis: schema propagation/validation plus the
+	// reflection walk ML.Net performs for type inference over operator
+	// objects.
+	t1 := time.Now()
+	if _, err := pipe.Validate(); err != nil {
+		return nil, fmt.Errorf("blackbox: validating %s: %w", m.name, err)
+	}
+	for _, n := range pipe.Nodes {
+		reflectWalk(reflect.ValueOf(n.Op), 0)
+	}
+	inst.cold.Analyze = time.Since(t1)
+
+	// Phase 3 — "JIT": build the function chain. Each node becomes a
+	// dynamically resolved invoker (resolved through reflection, the way a
+	// JIT resolves virtual calls on first execution) composed into the
+	// chain executed per prediction.
+	t2 := time.Now()
+	for _, n := range pipe.Nodes {
+		method := reflect.ValueOf(n.Op).MethodByName("Transform")
+		if !method.IsValid() {
+			return nil, fmt.Errorf("blackbox: %s has no Transform", n.Op.Info().Kind)
+		}
+		iface := method.Interface()
+		fn, ok := iface.(func([]*vector.Vector, *vector.Vector) error)
+		if !ok {
+			return nil, fmt.Errorf("blackbox: %s Transform has wrong signature", n.Op.Info().Kind)
+		}
+		inst.chain = append(inst.chain, step{op: fn, inputs: n.Inputs, kind: n.Op.Info().Kind})
+	}
+	inst.cold.Chain = time.Since(t2)
+	return inst, nil
+}
+
+// reflectWalk visits every field of v recursively (bounded depth), the
+// stand-in for ML.Net's reflection-based type inference.
+func reflectWalk(v reflect.Value, depth int) int {
+	if depth > 4 || !v.IsValid() {
+		return 0
+	}
+	n := 1
+	switch v.Kind() {
+	case reflect.Ptr, reflect.Interface:
+		if !v.IsNil() {
+			n += reflectWalk(v.Elem(), depth+1)
+		}
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			n += reflectWalk(v.Field(i), depth+1)
+		}
+	case reflect.Slice:
+		// Inspect element type only (not every element).
+		if v.Len() > 0 {
+			n += reflectWalk(v.Index(0), depth+1)
+		}
+	}
+	return n
+}
+
+// instanceFor returns worker w's materialized instance, building it (the
+// cold path) if needed. It reports whether this call was cold.
+func (m *Model) instanceFor(worker int) (*instance, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if inst, ok := m.instances[worker]; ok {
+		return inst, false, nil
+	}
+	inst, err := m.materialize()
+	if err != nil {
+		return nil, false, err
+	}
+	m.instances[worker] = inst
+	return inst, true, nil
+}
+
+// Warm forces materialization of worker 0's instance (used by the memory
+// experiments, which measure the footprint of fully loaded models).
+func (e *Engine) Warm(name string) error {
+	m, err := e.model(name)
+	if err != nil {
+		return err
+	}
+	_, _, err = m.instanceFor(0)
+	return err
+}
+
+// ColdStatsFor returns the recorded cold-phase breakdown of worker 0.
+func (e *Engine) ColdStatsFor(name string) (ColdStats, error) {
+	m, err := e.model(name)
+	if err != nil {
+		return ColdStats{}, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	inst, ok := m.instances[0]
+	if !ok {
+		return ColdStats{}, fmt.Errorf("blackbox: model %q not yet materialized", name)
+	}
+	return inst.cold, nil
+}
+
+// Predict runs one prediction on worker 0.
+func (e *Engine) Predict(name string, in *vector.Vector, out *vector.Vector) error {
+	return e.PredictOn(0, name, in, out)
+}
+
+// PredictOn runs one prediction on the given worker's instance. Distinct
+// workers hold distinct copies of the model objects.
+func (e *Engine) PredictOn(worker int, name string, in *vector.Vector, out *vector.Vector) error {
+	m, err := e.model(name)
+	if err != nil {
+		return err
+	}
+	inst, _, err := m.instanceFor(worker)
+	if err != nil {
+		return err
+	}
+	return e.run(m.name, inst, in, out)
+}
+
+// run executes the function chain, pulling the record operator-at-a-time
+// through materialized intermediate vectors.
+func (e *Engine) run(name string, inst *instance, in *vector.Vector, out *vector.Vector) error {
+	var timings []time.Duration
+	var kinds []string
+	trace := e.PerOpTimings != nil
+	last := len(inst.chain) - 1
+	for i := range inst.chain {
+		st := &inst.chain[i]
+		ins := inst.inBuf[:0]
+		for _, src := range st.inputs {
+			if src == pipeline.InputID {
+				ins = append(ins, in)
+			} else {
+				ins = append(ins, inst.scratch[src])
+			}
+		}
+		dst := inst.scratch[i]
+		if i == last {
+			dst = out
+		}
+		if trace {
+			t0 := time.Now()
+			if err := st.op(ins, dst); err != nil {
+				return fmt.Errorf("blackbox: %s node %d (%s): %w", name, i, st.kind, err)
+			}
+			timings = append(timings, time.Since(t0))
+			kinds = append(kinds, st.kind)
+			continue
+		}
+		if err := st.op(ins, dst); err != nil {
+			return fmt.Errorf("blackbox: %s node %d (%s): %w", name, i, st.kind, err)
+		}
+	}
+	if trace {
+		e.PerOpTimings(name, kinds, timings)
+	}
+	return nil
+}
+
+// MemBytes estimates the heap retained by all materialized instances plus
+// raw model bytes.
+func (e *Engine) MemBytes() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	total := 0
+	for _, m := range e.models {
+		m.mu.Lock()
+		total += len(m.raw)
+		for _, inst := range m.instances {
+			total += inst.pipe.MemBytes()
+		}
+		m.mu.Unlock()
+	}
+	return total
+}

@@ -1,0 +1,274 @@
+// Package frontend implements the PRETZEL FrontEnd (§4.2, §4.3): an HTTP
+// server over the Runtime with the two "external" optimizations other
+// serving systems also apply — prediction-result caching (LRU) and
+// delayed batching (requests buffered for a user-specified time window,
+// then submitted together to the batch engine).
+package frontend
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"pretzel/internal/runtime"
+	"pretzel/internal/vector"
+)
+
+// Config parameterizes a FrontEnd.
+type Config struct {
+	// CacheEntries bounds the prediction-result LRU (0 disables caching).
+	CacheEntries int
+	// BatchDelay buffers requests per model for this window, then submits
+	// them together to the batch engine (0 = request-response engine).
+	BatchDelay time.Duration
+}
+
+// Server is the HTTP front end.
+type Server struct {
+	rt  *runtime.Runtime
+	cfg Config
+
+	cache *predCache
+
+	mu      sync.Mutex
+	pending map[string][]*pendingReq
+
+	mux *http.ServeMux
+}
+
+// pendingReq is one delayed-batching request awaiting its window.
+type pendingReq struct {
+	input string
+	reply chan batchReply
+}
+
+type batchReply struct {
+	pred []float32
+	err  error
+}
+
+// New builds a FrontEnd over a runtime.
+func New(rt *runtime.Runtime, cfg Config) *Server {
+	s := &Server{rt: rt, cfg: cfg, pending: make(map[string][]*pendingReq)}
+	if cfg.CacheEntries > 0 {
+		s.cache = newPredCache(cfg.CacheEntries)
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/predict", s.handlePredict)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Request is the JSON prediction request body.
+type Request struct {
+	Model string `json:"model"`
+	Input string `json:"input"`
+}
+
+// Response is the JSON prediction response body.
+type Response struct {
+	Prediction []float32 `json:"prediction,omitempty"`
+	Cached     bool      `json:"cached,omitempty"`
+	Error      string    `json:"error,omitempty"`
+}
+
+// handlePredict decodes a request, serves it and encodes the response.
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var req Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, Response{Error: "bad request: " + err.Error()})
+		return
+	}
+	pred, cached, err := s.Predict(req.Model, req.Input)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, Response{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, Response{Prediction: pred, Cached: cached})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// Predict serves one prediction through the configured path: result
+// cache, then delayed batching or the request-response engine.
+func (s *Server) Predict(model, input string) (pred []float32, cached bool, err error) {
+	if s.cache != nil {
+		if p, ok := s.cache.get(model, input); ok {
+			return p, true, nil
+		}
+	}
+	if s.cfg.BatchDelay > 0 {
+		pred, err = s.predictDelayed(model, input)
+	} else {
+		pred, err = s.predictDirect(model, input)
+	}
+	if err == nil && s.cache != nil {
+		s.cache.put(model, input, pred)
+	}
+	return pred, false, err
+}
+
+// predictDirect uses the request-response engine inline.
+func (s *Server) predictDirect(model, input string) ([]float32, error) {
+	in := vector.New(0)
+	in.SetText(input)
+	out := vector.New(0)
+	if err := s.rt.Predict(model, in, out); err != nil {
+		return nil, err
+	}
+	return append([]float32(nil), out.Dense...), nil
+}
+
+// predictDelayed buffers the request; the model's window flusher submits
+// the whole buffer to the batch engine.
+func (s *Server) predictDelayed(model, input string) ([]float32, error) {
+	req := &pendingReq{input: input, reply: make(chan batchReply, 1)}
+	s.mu.Lock()
+	s.pending[model] = append(s.pending[model], req)
+	if len(s.pending[model]) == 1 {
+		// First request of the window: arm the flusher.
+		go s.flushAfter(model)
+	}
+	s.mu.Unlock()
+	r := <-req.reply
+	return r.pred, r.err
+}
+
+// flushAfter waits the batching window and submits the buffer.
+func (s *Server) flushAfter(model string) {
+	time.Sleep(s.cfg.BatchDelay)
+	s.mu.Lock()
+	batch := s.pending[model]
+	delete(s.pending, model)
+	s.mu.Unlock()
+	if len(batch) == 0 {
+		return
+	}
+	ins := make([]*vector.Vector, len(batch))
+	outs := make([]*vector.Vector, len(batch))
+	jobsErr := make([]error, len(batch))
+	for i, r := range batch {
+		ins[i] = vector.New(0)
+		ins[i].SetText(r.input)
+		outs[i] = vector.New(0)
+	}
+	// Submit all jobs, then wait individually so one failure does not
+	// poison the batch.
+	type waiter interface{ Wait() error }
+	jobs := make([]waiter, len(batch))
+	for i := range batch {
+		j, err := s.rt.Submit(model, ins[i], outs[i])
+		if err != nil {
+			jobsErr[i] = err
+			continue
+		}
+		jobs[i] = j
+	}
+	for i, r := range batch {
+		if jobsErr[i] != nil {
+			r.reply <- batchReply{err: jobsErr[i]}
+			continue
+		}
+		if err := jobs[i].Wait(); err != nil {
+			r.reply <- batchReply{err: err}
+			continue
+		}
+		r.reply <- batchReply{pred: append([]float32(nil), outs[i].Dense...)}
+	}
+}
+
+// --- prediction-result LRU cache ---
+
+type cacheKey struct {
+	model string
+	input string
+}
+
+type cacheEntry struct {
+	key  cacheKey
+	pred []float32
+}
+
+// predCache is the FrontEnd's prediction-result LRU (§4.3 "the FrontEnd
+// currently implements prediction results caching (with LRU eviction
+// policy)").
+type predCache struct {
+	mu    sync.Mutex
+	max   int
+	lru   *list.List
+	index map[cacheKey]*list.Element
+
+	hits, misses uint64
+}
+
+func newPredCache(max int) *predCache {
+	return &predCache{max: max, lru: list.New(), index: make(map[cacheKey]*list.Element)}
+}
+
+func (c *predCache) get(model, input string) ([]float32, bool) {
+	k := cacheKey{model, input}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.index[k]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.hits++
+	return el.Value.(*cacheEntry).pred, true
+}
+
+func (c *predCache) put(model, input string, pred []float32) {
+	k := cacheKey{model, input}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, dup := c.index[k]; dup {
+		c.lru.MoveToFront(el)
+		return
+	}
+	for c.lru.Len() >= c.max {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*cacheEntry)
+		c.lru.Remove(back)
+		delete(c.index, e.key)
+	}
+	c.index[k] = c.lru.PushFront(&cacheEntry{key: k, pred: append([]float32(nil), pred...)})
+}
+
+// CacheStats reports prediction-cache counters.
+type CacheStats struct {
+	Hits, Misses uint64
+	Entries      int
+}
+
+// CacheStats returns a snapshot of the prediction cache counters.
+func (s *Server) CacheStats() CacheStats {
+	if s.cache == nil {
+		return CacheStats{}
+	}
+	s.cache.mu.Lock()
+	defer s.cache.mu.Unlock()
+	return CacheStats{Hits: s.cache.hits, Misses: s.cache.misses, Entries: s.cache.lru.Len()}
+}

@@ -1,0 +1,223 @@
+// Package linalg implements the dense and sparse float32 kernels used by
+// physical stages. Compute-bound operations are written in an explicitly
+// blocked, 4-way unrolled style so the Go compiler can keep accumulators in
+// registers — this is the reproduction of PRETZEL's "vectorizable" label on
+// dense compute-bound transformations (§4.1.2, OutputGraphValidatorStep).
+package linalg
+
+import "math"
+
+// Dot returns the dense dot product of a and b (length = min(len(a),len(b))).
+func Dot(a, b []float32) float32 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	s := s0 + s1 + s2 + s3
+	for ; i < n; i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// SparseDot returns the dot product between a sparse vector (idx/val) and a
+// dense weight vector w. Out-of-range indices are ignored.
+func SparseDot(idx []int32, val []float32, w []float32) float32 {
+	var s float32
+	n := int32(len(w))
+	for i, ix := range idx {
+		if ix >= 0 && ix < n {
+			s += val[i] * w[ix]
+		}
+	}
+	return s
+}
+
+// Axpy computes y += alpha * x elementwise.
+func Axpy(alpha float32, x, y []float32) {
+	n := len(x)
+	if len(y) < n {
+		n = len(y)
+	}
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		y[i] += alpha * x[i]
+		y[i+1] += alpha * x[i+1]
+		y[i+2] += alpha * x[i+2]
+		y[i+3] += alpha * x[i+3]
+	}
+	for ; i < n; i++ {
+		y[i] += alpha * x[i]
+	}
+}
+
+// SparseAxpy computes y[idx[i]] += alpha*val[i].
+func SparseAxpy(alpha float32, idx []int32, val []float32, y []float32) {
+	n := int32(len(y))
+	for i, ix := range idx {
+		if ix >= 0 && ix < n {
+			y[ix] += alpha * val[i]
+		}
+	}
+}
+
+// Gemv computes out = M * x for a row-major matrix M with rows r and cols c.
+// out must have length >= r; x length >= c.
+func Gemv(m []float32, r, c int, x, out []float32) {
+	for i := 0; i < r; i++ {
+		out[i] = Dot(m[i*c:(i+1)*c], x[:c])
+	}
+}
+
+// SparseGemv computes out = M * xs for sparse x (idx/val), M row-major r×c.
+func SparseGemv(m []float32, r, c int, idx []int32, val []float32, out []float32) {
+	for i := 0; i < r; i++ {
+		row := m[i*c : (i+1)*c]
+		var s float32
+		for k, ix := range idx {
+			if ix >= 0 && int(ix) < c {
+				s += val[k] * row[ix]
+			}
+		}
+		out[i] = s
+	}
+}
+
+// L2 returns the Euclidean norm of x.
+func L2(x []float32) float32 {
+	var s float64
+	for _, v := range x {
+		s += float64(v) * float64(v)
+	}
+	return float32(math.Sqrt(s))
+}
+
+// SquaredDistance returns ||a-b||^2.
+func SquaredDistance(a, b []float32) float32 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	var s float32
+	for i := 0; i < n; i++ {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// SparseSquaredDistance returns ||xs - c||^2 for sparse x against dense c,
+// computed as ||c||^2 - 2*x·c + ||x||^2 without densifying x.
+func SparseSquaredDistance(idx []int32, val []float32, c []float32, cNormSq float32) float32 {
+	var dot, xsq float32
+	n := int32(len(c))
+	for i, ix := range idx {
+		v := val[i]
+		xsq += v * v
+		if ix >= 0 && ix < n {
+			dot += v * c[ix]
+		}
+	}
+	return cNormSq - 2*dot + xsq
+}
+
+// Sigmoid returns 1/(1+exp(-x)) with clamping for numerical stability.
+func Sigmoid(x float32) float32 {
+	if x < -30 {
+		return 0
+	}
+	if x > 30 {
+		return 1
+	}
+	return float32(1.0 / (1.0 + math.Exp(-float64(x))))
+}
+
+// Scale multiplies x by alpha in place.
+func Scale(alpha float32, x []float32) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Sum returns the sum of the elements.
+func Sum(x []float32) float32 {
+	var s0, s1 float32
+	i := 0
+	for ; i+2 <= len(x); i += 2 {
+		s0 += x[i]
+		s1 += x[i+1]
+	}
+	if i < len(x) {
+		s0 += x[i]
+	}
+	return s0 + s1
+}
+
+// ArgMax returns the index of the maximum element (-1 for empty input).
+func ArgMax(x []float32) int {
+	if len(x) == 0 {
+		return -1
+	}
+	best, bi := x[0], 0
+	for i := 1; i < len(x); i++ {
+		if x[i] > best {
+			best, bi = x[i], i
+		}
+	}
+	return bi
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(x []float32) float32 {
+	if len(x) == 0 {
+		return 0
+	}
+	return Sum(x) / float32(len(x))
+}
+
+// Variance returns the population variance (0 for empty input).
+func Variance(x []float32) float32 {
+	if len(x) == 0 {
+		return 0
+	}
+	m := Mean(x)
+	var s float32
+	for _, v := range x {
+		d := v - m
+		s += d * d
+	}
+	return s / float32(len(x))
+}
+
+// Softmax writes softmax(x) into out (same length) and returns out.
+func Softmax(x, out []float32) []float32 {
+	if len(x) == 0 {
+		return out[:0]
+	}
+	max := x[0]
+	for _, v := range x[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	var sum float64
+	out = out[:len(x)]
+	for i, v := range x {
+		e := math.Exp(float64(v - max))
+		out[i] = float32(e)
+		sum += e
+	}
+	inv := float32(1 / sum)
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}

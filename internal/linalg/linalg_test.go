@@ -1,0 +1,266 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestDot(t *testing.T) {
+	a := []float32{1, 2, 3, 4, 5}
+	b := []float32{5, 4, 3, 2, 1}
+	if got := Dot(a, b); got != 35 {
+		t.Fatalf("Dot=%v want 35", got)
+	}
+	if got := Dot(a[:2], b); got != 13 {
+		t.Fatalf("Dot short=%v want 13", got)
+	}
+	if got := Dot(nil, b); got != 0 {
+		t.Fatalf("Dot nil=%v", got)
+	}
+}
+
+func TestDotMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 30; iter++ {
+		n := rng.Intn(200)
+		a := make([]float32, n)
+		b := make([]float32, n)
+		var want float64
+		for i := range a {
+			a[i] = rng.Float32() - 0.5
+			b[i] = rng.Float32() - 0.5
+			want += float64(a[i]) * float64(b[i])
+		}
+		if got := Dot(a, b); !approx(float64(got), want, 1e-3) {
+			t.Fatalf("n=%d Dot=%v want %v", n, got, want)
+		}
+	}
+}
+
+func TestSparseDot(t *testing.T) {
+	w := []float32{1, 2, 3, 4}
+	idx := []int32{0, 3, 10, -1}
+	val := []float32{2, 5, 100, 100}
+	if got := SparseDot(idx, val, w); got != 2+20 {
+		t.Fatalf("SparseDot=%v want 22", got)
+	}
+}
+
+func TestAxpy(t *testing.T) {
+	y := []float32{1, 1, 1, 1, 1}
+	Axpy(2, []float32{1, 2, 3, 4, 5}, y)
+	want := []float32{3, 5, 7, 9, 11}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("Axpy[%d]=%v want %v", i, y[i], want[i])
+		}
+	}
+}
+
+func TestSparseAxpy(t *testing.T) {
+	y := make([]float32, 4)
+	SparseAxpy(3, []int32{1, 3, 9}, []float32{1, 2, 7}, y)
+	if y[1] != 3 || y[3] != 6 || y[0] != 0 {
+		t.Fatalf("SparseAxpy y=%v", y)
+	}
+}
+
+func TestGemv(t *testing.T) {
+	// 2x3 matrix [[1,2,3],[4,5,6]]
+	m := []float32{1, 2, 3, 4, 5, 6}
+	x := []float32{1, 1, 1}
+	out := make([]float32, 2)
+	Gemv(m, 2, 3, x, out)
+	if out[0] != 6 || out[1] != 15 {
+		t.Fatalf("Gemv out=%v", out)
+	}
+}
+
+func TestSparseGemvMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	r, c := 5, 20
+	m := make([]float32, r*c)
+	for i := range m {
+		m[i] = rng.Float32()
+	}
+	dense := make([]float32, c)
+	var idx []int32
+	var val []float32
+	for i := 0; i < c; i += 3 {
+		v := rng.Float32()
+		dense[i] = v
+		idx = append(idx, int32(i))
+		val = append(val, v)
+	}
+	want := make([]float32, r)
+	Gemv(m, r, c, dense, want)
+	got := make([]float32, r)
+	SparseGemv(m, r, c, idx, val, got)
+	for i := range want {
+		if !approx(float64(got[i]), float64(want[i]), 1e-4) {
+			t.Fatalf("row %d got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestL2AndDistances(t *testing.T) {
+	if got := L2([]float32{3, 4}); !approx(float64(got), 5, 1e-6) {
+		t.Fatalf("L2=%v", got)
+	}
+	if got := SquaredDistance([]float32{1, 2}, []float32{4, 6}); got != 25 {
+		t.Fatalf("SquaredDistance=%v", got)
+	}
+}
+
+func TestSparseSquaredDistanceMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 20; iter++ {
+		dim := 30
+		c := make([]float32, dim)
+		for i := range c {
+			c[i] = rng.Float32()
+		}
+		x := make([]float32, dim)
+		var idx []int32
+		var val []float32
+		for i := 0; i < dim; i++ {
+			if rng.Intn(3) == 0 {
+				v := rng.Float32()
+				x[i] = v
+				idx = append(idx, int32(i))
+				val = append(val, v)
+			}
+		}
+		cn := Dot(c, c)
+		want := SquaredDistance(x, c)
+		got := SparseSquaredDistance(idx, val, c, cn)
+		if !approx(float64(got), float64(want), 1e-3) {
+			t.Fatalf("iter %d got %v want %v", iter, got, want)
+		}
+	}
+}
+
+func TestSigmoid(t *testing.T) {
+	if got := Sigmoid(0); !approx(float64(got), 0.5, 1e-6) {
+		t.Fatalf("Sigmoid(0)=%v", got)
+	}
+	if Sigmoid(-100) != 0 || Sigmoid(100) != 1 {
+		t.Fatal("sigmoid clamping")
+	}
+	if Sigmoid(2) <= 0.5 || Sigmoid(-2) >= 0.5 {
+		t.Fatal("sigmoid monotonicity")
+	}
+}
+
+func TestScaleSumMean(t *testing.T) {
+	x := []float32{1, 2, 3}
+	Scale(2, x)
+	if Sum(x) != 12 {
+		t.Fatalf("Sum=%v", Sum(x))
+	}
+	if Mean(x) != 4 {
+		t.Fatalf("Mean=%v", Mean(x))
+	}
+	if Sum(nil) != 0 || Mean(nil) != 0 {
+		t.Fatal("empty sum/mean")
+	}
+}
+
+func TestVariance(t *testing.T) {
+	if got := Variance([]float32{2, 4, 4, 4, 5, 5, 7, 9}); !approx(float64(got), 4, 1e-5) {
+		t.Fatalf("Variance=%v want 4", got)
+	}
+	if Variance(nil) != 0 {
+		t.Fatal("empty variance")
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	if ArgMax([]float32{1, 5, 3}) != 1 {
+		t.Fatal("argmax")
+	}
+	if ArgMax(nil) != -1 {
+		t.Fatal("argmax empty")
+	}
+	if ArgMax([]float32{2, 2}) != 0 {
+		t.Fatal("argmax tie should pick first")
+	}
+}
+
+func TestSoftmax(t *testing.T) {
+	out := make([]float32, 3)
+	got := Softmax([]float32{1, 2, 3}, out)
+	var sum float32
+	for _, v := range got {
+		sum += v
+	}
+	if !approx(float64(sum), 1, 1e-5) {
+		t.Fatalf("softmax sum=%v", sum)
+	}
+	if !(got[2] > got[1] && got[1] > got[0]) {
+		t.Fatal("softmax ordering")
+	}
+	if len(Softmax(nil, out)) != 0 {
+		t.Fatal("softmax empty")
+	}
+	// Large values must not overflow.
+	got = Softmax([]float32{1000, 1000}, out)
+	if !approx(float64(got[0]), 0.5, 1e-5) {
+		t.Fatalf("softmax overflow handling: %v", got)
+	}
+}
+
+// Property: Dot is symmetric and linear in its first argument.
+func TestDotProperties(t *testing.T) {
+	f := func(raw []float32) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		n := len(raw) / 2
+		a, b := raw[:n], raw[n:2*n]
+		for i := range a { // keep values bounded to avoid inf
+			if a[i] != a[i] || b[i] != b[i] { // NaN input: skip
+				return true
+			}
+			if a[i] > 1e10 || a[i] < -1e10 || b[i] > 1e10 || b[i] < -1e10 {
+				return true
+			}
+		}
+		d1, d2 := Dot(a, b), Dot(b, a)
+		return approx(float64(d1), float64(d2), 1e-2+1e-4*math.Abs(float64(d1)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDotDense1K(b *testing.B) {
+	x := make([]float32, 1024)
+	y := make([]float32, 1024)
+	for i := range x {
+		x[i] = float32(i)
+		y[i] = float32(i % 7)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Dot(x, y)
+	}
+}
+
+func BenchmarkSparseDot1KNnz64(b *testing.B) {
+	w := make([]float32, 1024)
+	idx := make([]int32, 64)
+	val := make([]float32, 64)
+	for i := range idx {
+		idx[i] = int32(i * 16)
+		val[i] = 1
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = SparseDot(idx, val, w)
+	}
+}

@@ -1,0 +1,145 @@
+// Package ops implements the ML.Net-style logical operators that trained
+// pipelines are composed of. PRETZEL supports "about two dozen" operators
+// (§5); this package provides the equivalent set: text featurizers
+// (tokenizer, dictionary and hashing n-grams), vector transformations
+// (concat, normalizers, scalers, imputer, one-hot, bucketizer, clip,
+// feature selection), dimensionality reduction and clustering transforms
+// (PCA, KMeans, tree featurizer) and predictors (linear models, trees,
+// forests, multi-class forests, calibrators).
+//
+// Every operator carries the annotations the Oven optimizer matches on
+// (§4.1.2: "transformation classes are annotated (e.g., 1-to-1, 1-to-n,
+// memory-bound, compute-bound, commutative and associative) to ease the
+// optimization process").
+package ops
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"pretzel/internal/schema"
+	"pretzel/internal/vector"
+)
+
+// Param is a shareable parameter object. The Object Store keys parameter
+// objects by (kind, checksum) so identical parameters are stored once.
+type Param interface {
+	Checksum() uint64
+	MemBytes() int
+}
+
+// Info carries the optimizer-facing annotations of an operator class.
+type Info struct {
+	Kind string // operator class name, e.g. "CharNgram"
+
+	// Arity/shape annotations.
+	NInputs int  // number of inputs (1 for most; >1 for Concat)
+	Breaker bool // pipeline breaker: needs its input fully materialized
+
+	// Cost-model annotations driving stage fusion.
+	MemoryBound  bool // pipelined with neighbours in one pass (fusable)
+	ComputeBound bool // isolated for blocked/vectorized execution
+
+	// Algebraic annotations.
+	Commutative bool // model can be pushed through Concat (dot product)
+	Predictor   bool // final scorer of a pipeline
+}
+
+// Op is one trained pipeline operator.
+type Op interface {
+	// Info returns the operator class annotations.
+	Info() Info
+	// OutSchema computes the output schema from the input schemas,
+	// validating kinds (the optimizer's schema-propagation rules call it).
+	OutSchema(in []*schema.Schema) (*schema.Schema, error)
+	// Transform computes one output record from the input records. out is
+	// a caller-provided buffer vector.
+	Transform(in []*vector.Vector, out *vector.Vector) error
+	// Params returns the operator's shareable parameter objects (possibly
+	// empty).
+	Params() []Param
+	// SetParams replaces the parameter objects with shared instances of
+	// the same dynamic types, in the order returned by Params.
+	SetParams(ps []Param) error
+	// WriteParams serializes the operator configuration and parameters.
+	WriteParams(w io.Writer) error
+}
+
+// MemBytes sums the parameter footprint of an operator.
+func MemBytes(op Op) int {
+	n := 64 // struct overhead
+	for _, p := range op.Params() {
+		n += p.MemBytes()
+	}
+	return n
+}
+
+// Checksum combines the operator kind, its configuration (the exported
+// struct fields; parameter objects carry `json:"-"` tags) and the
+// parameter checksums into a stage-identity hash. Configuration must be
+// included: two Concat operators with different Dims are different
+// stages even though neither has parameters.
+func Checksum(op Op) uint64 {
+	acc := hashString(op.Info().Kind)
+	if b, err := json.Marshal(op); err == nil {
+		acc = acc*0x100000001b3 ^ hashBytes(b)
+	}
+	for _, p := range op.Params() {
+		acc = acc*0x100000001b3 ^ p.Checksum()
+	}
+	return acc
+}
+
+func hashBytes(b []byte) uint64 {
+	var h uint64 = 0xcbf29ce484222325
+	for _, c := range b {
+		h = (h ^ uint64(c)) * 0x100000001b3
+	}
+	return h
+}
+
+func hashString(s string) uint64 {
+	var h uint64 = 0xcbf29ce484222325
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 0x100000001b3
+	}
+	return h
+}
+
+// --- serialization registry ---
+
+// reader deserializes one operator kind.
+type reader func(r io.Reader) (Op, error)
+
+var registry = map[string]reader{}
+
+// register installs a deserializer for kind; called from init functions.
+func register(kind string, fn reader) { registry[kind] = fn }
+
+// Read deserializes an operator of the given kind.
+func Read(kind string, r io.Reader) (Op, error) {
+	fn, ok := registry[kind]
+	if !ok {
+		return nil, fmt.Errorf("ops: unknown operator kind %q", kind)
+	}
+	op, err := fn(r)
+	if err != nil {
+		return nil, fmt.Errorf("ops: reading %s: %w", kind, err)
+	}
+	return op, nil
+}
+
+// Kinds returns the registered operator kinds (for documentation/tests).
+func Kinds() []string {
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	return out
+}
+
+// errInputs builds the standard wrong-arity error.
+func errInputs(kind string, want, got int) error {
+	return fmt.Errorf("ops: %s expects %d input(s), got %d", kind, want, got)
+}

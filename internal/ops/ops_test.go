@@ -1,0 +1,537 @@
+package ops
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"pretzel/internal/ml"
+	"pretzel/internal/schema"
+	"pretzel/internal/text"
+	"pretzel/internal/vector"
+)
+
+func textVec(s string) *vector.Vector {
+	v := vector.New(0)
+	v.SetText(s)
+	return v
+}
+
+func tokensVec(toks ...string) *vector.Vector {
+	v := vector.New(0)
+	v.SetTokens(toks)
+	return v
+}
+
+func denseVec(vals ...float32) *vector.Vector {
+	v := vector.New(len(vals))
+	v.SetDense(vals)
+	return v
+}
+
+// roundTrip serializes an op and reads it back through the registry.
+func roundTrip(t *testing.T, op Op) Op {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := op.WriteParams(&buf); err != nil {
+		t.Fatalf("WriteParams(%s): %v", op.Info().Kind, err)
+	}
+	got, err := Read(op.Info().Kind, &buf)
+	if err != nil {
+		t.Fatalf("Read(%s): %v", op.Info().Kind, err)
+	}
+	if Checksum(got) != Checksum(op) {
+		t.Fatalf("%s: checksum changed over round trip", op.Info().Kind)
+	}
+	return got
+}
+
+func TestCSVSelect(t *testing.T) {
+	op := &CSVSelect{Sep: ',', Field: 1}
+	out := vector.New(0)
+	if err := op.Transform([]*vector.Vector{textVec(`id1,"hello, world",3`)}, out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Text != "hello, world" {
+		t.Fatalf("got %q", out.Text)
+	}
+	if err := op.Transform([]*vector.Vector{textVec("only")}, out); err == nil {
+		t.Fatal("field out of range must error")
+	}
+	if _, err := op.OutSchema([]*schema.Schema{schema.Text("line")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := op.OutSchema([]*schema.Schema{schema.Vector("v", 3, false)}); err == nil {
+		t.Fatal("schema mismatch must error")
+	}
+	roundTrip(t, op)
+}
+
+func TestTokenizerOp(t *testing.T) {
+	op := &Tokenizer{}
+	out := vector.New(0)
+	if err := op.Transform([]*vector.Vector{textVec("Hello World")}, out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Kind != vector.KindTokens || len(out.Tokens) != 2 || out.Tokens[0] != "hello" {
+		t.Fatalf("got %v", out)
+	}
+	if err := op.Transform([]*vector.Vector{denseVec(1)}, out); err == nil {
+		t.Fatal("wrong input kind must error")
+	}
+	s, err := op.OutSchema([]*schema.Schema{schema.Text("t")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, _ := s.Single(); c.Kind != schema.ColTokens {
+		t.Fatal("output schema")
+	}
+	roundTrip(t, op)
+}
+
+func buildCharDict(tokens []string, minN, maxN int) *text.Dict {
+	b := text.NewDictBuilder()
+	for _, tok := range tokens {
+		text.ObserveCharNgrams(b, []byte(tok), minN, maxN)
+	}
+	return b.Build(0)
+}
+
+func TestCharNgramOp(t *testing.T) {
+	d := buildCharDict([]string{"nice", "product"}, 2, 3)
+	op := &CharNgram{MinN: 2, MaxN: 3, Dict: d}
+	out := vector.New(0)
+	if err := op.Transform([]*vector.Vector{tokensVec("nice")}, out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Kind != vector.KindSparse || out.NNZ() == 0 || out.Dim != d.Size() {
+		t.Fatalf("got %v", out)
+	}
+	// Repeated grams must be coalesced with counts.
+	if err := op.Transform([]*vector.Vector{tokensVec("nini")}, out); err != nil {
+		t.Fatal(err)
+	}
+	ni := d.Lookup("ni")
+	if ni >= 0 && out.At(int(ni)) != 2 {
+		t.Fatalf("count of 'ni' = %v, want 2", out.At(int(ni)))
+	}
+	got := roundTrip(t, op).(*CharNgram)
+	if got.Dim() != op.Dim() || got.MinN != 2 || got.MaxN != 3 {
+		t.Fatal("config lost in round trip")
+	}
+}
+
+func TestWordNgramOp(t *testing.T) {
+	b := text.NewDictBuilder()
+	text.ObserveWordNgrams(b, []string{"very", "nice", "product"}, 2, nil)
+	d := b.Build(0)
+	op := &WordNgram{MaxN: 2, Dict: d}
+	out := vector.New(0)
+	if err := op.Transform([]*vector.Vector{tokensVec("very", "nice")}, out); err != nil {
+		t.Fatal(err)
+	}
+	if out.At(int(d.Lookup("very nice"))) != 1 {
+		t.Fatal("bigram missing")
+	}
+	roundTrip(t, op)
+}
+
+func TestHashNgramOp(t *testing.T) {
+	op := &HashNgram{Bits: 8, Word: true}
+	out := vector.New(0)
+	if err := op.Transform([]*vector.Vector{tokensVec("a", "b", "a")}, out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Dim != 256 {
+		t.Fatal("dim")
+	}
+	var total float32
+	for _, v := range out.Val {
+		total += v
+	}
+	if total != 3 {
+		t.Fatalf("total mass %v, want 3", total)
+	}
+	roundTrip(t, op)
+}
+
+func TestConcatOp(t *testing.T) {
+	op := &Concat{Dims: []int{2, 3}}
+	if op.Dim() != 5 {
+		t.Fatal("dim")
+	}
+	out := vector.New(0)
+	// Dense + dense.
+	if err := op.Transform([]*vector.Vector{denseVec(1, 2), denseVec(3, 4, 5)}, out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Kind != vector.KindDense || out.Dense[4] != 5 {
+		t.Fatalf("dense concat: %v", out)
+	}
+	// Sparse + dense -> sparse with offset.
+	sp := vector.New(0)
+	sp.UseSparse(2)
+	sp.AppendSparse(1, 9)
+	if err := op.Transform([]*vector.Vector{sp, denseVec(0, 7, 0)}, out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Kind != vector.KindSparse || out.At(1) != 9 || out.At(3) != 7 || out.NNZ() != 2 {
+		t.Fatalf("sparse concat: %v idx=%v val=%v", out, out.Idx, out.Val)
+	}
+	// Arity mismatch.
+	if err := op.Transform([]*vector.Vector{denseVec(1, 2)}, out); err == nil {
+		t.Fatal("arity mismatch must error")
+	}
+	// Schema.
+	s, err := op.OutSchema([]*schema.Schema{schema.Vector("a", 2, true), schema.Vector("b", 3, false)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := s.Single()
+	if c.Dim != 5 || !c.Sparse {
+		t.Fatalf("schema: %+v", c)
+	}
+	if _, err := op.OutSchema([]*schema.Schema{schema.Vector("a", 9, true), schema.Vector("b", 3, false)}); err == nil {
+		t.Fatal("dim mismatch must error")
+	}
+	roundTrip(t, op)
+}
+
+func TestL2NormalizerOp(t *testing.T) {
+	op := &L2Normalizer{}
+	out := vector.New(0)
+	if err := op.Transform([]*vector.Vector{denseVec(3, 4)}, out); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(out.L2Norm())-1) > 1e-5 {
+		t.Fatalf("norm %v", out.L2Norm())
+	}
+	// Zero vector must not NaN.
+	if err := op.Transform([]*vector.Vector{denseVec(0, 0)}, out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Dense[0] != 0 {
+		t.Fatal("zero vector")
+	}
+	if !op.Info().Breaker {
+		t.Fatal("L2Normalizer must be a pipeline breaker")
+	}
+	roundTrip(t, op)
+}
+
+func TestMeanVarScalerOp(t *testing.T) {
+	op := &MeanVarScaler{Mean: &Floats{V: []float32{1, 2}}, Std: &Floats{V: []float32{2, 0}}}
+	out := vector.New(0)
+	if err := op.Transform([]*vector.Vector{denseVec(3, 5)}, out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Dense[0] != 1 { // (3-1)/2
+		t.Fatalf("scaled[0]=%v", out.Dense[0])
+	}
+	if out.Dense[1] != 3 { // std 0 -> treated as 1
+		t.Fatalf("scaled[1]=%v", out.Dense[1])
+	}
+	got := roundTrip(t, op).(*MeanVarScaler)
+	if got.Mean.V[1] != 2 || got.Std.V[0] != 2 {
+		t.Fatal("params lost")
+	}
+}
+
+func TestImputerOp(t *testing.T) {
+	op := &Imputer{Fill: &Floats{V: []float32{5, 6}}}
+	out := vector.New(0)
+	nan := float32(math.NaN())
+	if err := op.Transform([]*vector.Vector{denseVec(nan, 2)}, out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Dense[0] != 5 || out.Dense[1] != 2 {
+		t.Fatalf("imputed: %v", out.Dense)
+	}
+	roundTrip(t, op)
+}
+
+func TestBucketizerOp(t *testing.T) {
+	// 2 dims, 3 buckets -> 2 bounds per dim.
+	op := &Bucketizer{NumBuckets: 3, Bounds: &Floats{V: []float32{0, 1, 10, 20}}}
+	out := vector.New(0)
+	if err := op.Transform([]*vector.Vector{denseVec(0.5, 25)}, out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Dense[0] != 1 || out.Dense[1] != 2 {
+		t.Fatalf("buckets: %v", out.Dense)
+	}
+	if err := op.Transform([]*vector.Vector{denseVec(-1, 5)}, out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Dense[0] != 0 || out.Dense[1] != 0 {
+		t.Fatalf("buckets: %v", out.Dense)
+	}
+	roundTrip(t, op)
+}
+
+func TestClipOp(t *testing.T) {
+	op := &Clip{Lo: -1, Hi: 1}
+	out := vector.New(0)
+	if err := op.Transform([]*vector.Vector{denseVec(-5, 0.5, 7)}, out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Dense[0] != -1 || out.Dense[1] != 0.5 || out.Dense[2] != 1 {
+		t.Fatalf("clip: %v", out.Dense)
+	}
+	roundTrip(t, op)
+}
+
+func TestFeatureSelectOp(t *testing.T) {
+	op := &FeatureSelect{Indices: []int32{2, 0}}
+	out := vector.New(0)
+	if err := op.Transform([]*vector.Vector{denseVec(10, 20, 30)}, out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Dense[0] != 30 || out.Dense[1] != 10 {
+		t.Fatalf("select: %v", out.Dense)
+	}
+	roundTrip(t, op)
+}
+
+func TestParseFloatsOp(t *testing.T) {
+	op := &ParseFloats{Sep: ',', Dim: 3}
+	out := vector.New(0)
+	if err := op.Transform([]*vector.Vector{textVec("1.5, -2, 3e1")}, out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Dense[0] != 1.5 || out.Dense[1] != -2 || out.Dense[2] != 30 {
+		t.Fatalf("parsed: %v", out.Dense)
+	}
+	if err := op.Transform([]*vector.Vector{textVec("1,2")}, out); err == nil {
+		t.Fatal("missing fields must error")
+	}
+	if err := op.Transform([]*vector.Vector{textVec("a,b,c")}, out); err == nil {
+		t.Fatal("garbage must error")
+	}
+	roundTrip(t, op)
+}
+
+func trainedForest(t *testing.T) *ml.Forest {
+	t.Helper()
+	xs := [][]float32{{0, 0}, {0, 1}, {1, 0}, {1, 1}, {2, 2}, {3, 3}, {4, 1}, {0, 4}}
+	ys := []float32{0, 1, 1, 2, 4, 6, 5, 4}
+	f, err := ml.TrainForest(xs, ys, ml.ForestOptions{NumTrees: 3, Tree: ml.TreeOptions{MaxDepth: 3, MinLeaf: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestMLOps(t *testing.T) {
+	xs := [][]float32{{1, 0}, {0, 1}, {1, 1}, {2, 1}, {0, 0}, {3, 2}}
+
+	pca, err := ml.TrainPCA(xs, ml.PCAOptions{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := &PCATransform{Model: pca}
+	out := vector.New(0)
+	if err := pop.Transform([]*vector.Vector{denseVec(1, 1)}, out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Dim != 1 {
+		t.Fatal("pca out dim")
+	}
+	roundTrip(t, pop)
+
+	km, err := ml.TrainKMeans(xs, ml.KMeansOptions{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kop := &KMeansTransform{Model: km}
+	if err := kop.Transform([]*vector.Vector{denseVec(1, 1)}, out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Dim != 2 {
+		t.Fatal("kmeans out dim")
+	}
+	roundTrip(t, kop)
+
+	tf := NewTreeFeaturize(trainedForest(t))
+	if err := tf.Transform([]*vector.Vector{denseVec(1, 1)}, out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Kind != vector.KindDense || out.Dim != tf.feat.Dim() {
+		t.Fatalf("tree featurize: %v", out)
+	}
+	hot := 0
+	for _, v := range out.Dense {
+		if v == 1 {
+			hot++
+		}
+	}
+	if hot != 3 { // one active leaf per tree
+		t.Fatalf("active leaves = %d, want 3", hot)
+	}
+	roundTrip(t, tf)
+
+	fop := &ForestPredictor{Model: trainedForest(t)}
+	if err := fop.Transform([]*vector.Vector{denseVec(3, 3)}, out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Dense) != 1 {
+		t.Fatal("forest predictor out")
+	}
+	roundTrip(t, fop)
+
+	lp := &LinearPredictor{Model: &ml.LinearModel{Kind: ml.LogisticRegression, Weights: []float32{1, -1}}}
+	if err := lp.Transform([]*vector.Vector{denseVec(5, 0)}, out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Dense[0] < 0.99 {
+		t.Fatalf("logistic score %v", out.Dense[0])
+	}
+	sp := vector.New(0)
+	sp.UseSparse(2)
+	sp.AppendSparse(1, 5)
+	if err := lp.Transform([]*vector.Vector{sp}, out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Dense[0] > 0.01 {
+		t.Fatalf("sparse logistic score %v", out.Dense[0])
+	}
+	if !lp.Info().Commutative || !lp.Info().Predictor {
+		t.Fatal("LinearPredictor annotations")
+	}
+	roundTrip(t, lp)
+
+	ys := []int{0, 1, 0, 1, 0, 1}
+	mc, err := ml.TrainMultiClassForest(xs, ys, ml.MultiClassOptions{NumClasses: 2, Forest: ml.ForestOptions{NumTrees: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mop := &MultiClassPredictor{Model: mc}
+	if err := mop.Transform([]*vector.Vector{denseVec(1, 1)}, out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Dim != 2 {
+		t.Fatal("multiclass out dim")
+	}
+	roundTrip(t, mop)
+
+	cal := &Calibrator{A: 1, B: 0}
+	if err := cal.Transform([]*vector.Vector{denseVec(0)}, out); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(out.Dense[0])-0.5) > 1e-5 {
+		t.Fatalf("calibrated %v", out.Dense[0])
+	}
+	roundTrip(t, cal)
+}
+
+func TestParamSharing(t *testing.T) {
+	d := buildCharDict([]string{"shared"}, 2, 2)
+	a := &CharNgram{MinN: 2, MaxN: 2, Dict: d}
+	b := &CharNgram{MinN: 2, MaxN: 2, Dict: d}
+	if Checksum(a) != Checksum(b) {
+		t.Fatal("identical ops must share checksum")
+	}
+	// Same dict content, different op kind -> different checksum.
+	w := &WordNgram{MaxN: 1, Dict: d}
+	if Checksum(a) == Checksum(w) {
+		t.Fatal("different op kinds must not collide")
+	}
+	// SetParams swaps the shared instance in.
+	d2 := buildCharDict([]string{"shared"}, 2, 2)
+	c := &CharNgram{MinN: 2, MaxN: 2, Dict: d2}
+	if err := c.SetParams([]Param{d}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Dict != d {
+		t.Fatal("SetParams did not install shared dict")
+	}
+	if err := c.SetParams([]Param{&Floats{}}); err == nil {
+		t.Fatal("wrong param type must error")
+	}
+}
+
+func TestSetParamsArityErrors(t *testing.T) {
+	for _, op := range []Op{&Tokenizer{}, &Concat{}, &Clip{}, &CSVSelect{}, &HashNgram{}, &FeatureSelect{}, &ParseFloats{}, &L2Normalizer{}, &Calibrator{}} {
+		if err := op.SetParams([]Param{&Floats{}}); err == nil {
+			t.Fatalf("%s: extra param must error", op.Info().Kind)
+		}
+	}
+	sc := &MeanVarScaler{}
+	if err := sc.SetParams(nil); err == nil {
+		t.Fatal("missing params must error")
+	}
+}
+
+func TestReadUnknownKind(t *testing.T) {
+	if _, err := Read("NoSuchOp", strings.NewReader("")); err == nil {
+		t.Fatal("unknown kind must error")
+	}
+}
+
+func TestKindsRegistered(t *testing.T) {
+	kinds := Kinds()
+	want := []string{
+		"CSVSelect", "Tokenizer", "CharNgram", "WordNgram", "HashNgram",
+		"Concat", "L2Normalizer", "MeanVarScaler", "Imputer", "Bucketizer",
+		"Clip", "FeatureSelect", "ParseFloats", "PCATransform",
+		"KMeansTransform", "TreeFeaturize", "LinearPredictor",
+		"ForestPredictor", "MultiClassPredictor", "Calibrator",
+	}
+	have := map[string]bool{}
+	for _, k := range kinds {
+		have[k] = true
+	}
+	for _, k := range want {
+		if !have[k] {
+			t.Fatalf("operator %s not registered", k)
+		}
+	}
+	if len(kinds) < 20 {
+		t.Fatalf("expected ~two dozen operators, have %d", len(kinds))
+	}
+}
+
+func TestMemBytes(t *testing.T) {
+	d := buildCharDict([]string{"abcdef"}, 2, 3)
+	op := &CharNgram{MinN: 2, MaxN: 3, Dict: d}
+	if MemBytes(op) <= MemBytes(&Tokenizer{}) {
+		t.Fatal("dict op must be bigger than empty op")
+	}
+}
+
+func TestChecksumIncludesConfig(t *testing.T) {
+	// Regression: parameter-less operators with different configurations
+	// must have different checksums, or the runtime catalog would share
+	// kernels across incompatible stages.
+	a := &Concat{Dims: []int{4}}
+	b := &Concat{Dims: []int{3, 5}}
+	if Checksum(a) == Checksum(b) {
+		t.Fatal("Concat checksums must depend on Dims")
+	}
+	c1 := &Clip{Lo: 0, Hi: 1}
+	c2 := &Clip{Lo: 0, Hi: 2}
+	if Checksum(c1) == Checksum(c2) {
+		t.Fatal("Clip checksums must depend on bounds")
+	}
+	h1 := &HashNgram{Bits: 8, Word: true}
+	h2 := &HashNgram{Bits: 9, Word: true}
+	if Checksum(h1) == Checksum(h2) {
+		t.Fatal("HashNgram checksums must depend on Bits")
+	}
+}
+
+func TestFloatsParam(t *testing.T) {
+	a := &Floats{V: []float32{1, 2, 3}}
+	b := &Floats{V: []float32{1, 2, 3}}
+	if a.Checksum() != b.Checksum() {
+		t.Fatal("equal floats must share checksum")
+	}
+	c := &Floats{V: []float32{1, 2, 4}}
+	if a.Checksum() == c.Checksum() {
+		t.Fatal("different floats must differ")
+	}
+	if a.MemBytes() < 12 {
+		t.Fatal("membytes")
+	}
+}

@@ -1,0 +1,448 @@
+package oven
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"pretzel/internal/ops"
+	"pretzel/internal/pipeline"
+	"pretzel/internal/plan"
+	"pretzel/internal/schema"
+	"pretzel/internal/store"
+	"pretzel/internal/text"
+	"pretzel/internal/vector"
+)
+
+// Options configure compilation.
+type Options struct {
+	// AOT compiles physical kernels at plan-compile time (the default
+	// PRETZEL behaviour, CrossGen in the paper). When false, kernels are
+	// bound lazily at first execution — the §5.2.1 AOT ablation.
+	AOT bool
+
+	// Materialization compiles shared featurization prefixes into
+	// cacheable stages instead of pushing linear models through them,
+	// enabling sub-plan materialization (§4.3).
+	Materialization bool
+}
+
+// DefaultOptions returns the standard configuration (AOT on).
+func DefaultOptions() Options { return Options{AOT: true} }
+
+// Compile turns a trained pipeline into a PRETZEL model plan: parameters
+// are interned in the Object Store, the transformation graph is rewritten
+// into a stage graph by the four optimizer steps, and each logical stage
+// is mapped to a physical kernel by the Model Plan Compiler.
+func Compile(p *pipeline.Pipeline, objStore *store.ObjectStore, opts Options) (*plan.Plan, error) {
+	// Step 1 — InputGraphValidatorStep.
+	if err := validateInput(p); err != nil {
+		return nil, err
+	}
+
+	// Object Store interning: new parameters are kept, already-present
+	// ones are dropped in favour of the canonical instance (§4.1.3).
+	if objStore != nil {
+		for i, n := range p.Nodes {
+			if err := objStore.InternOp(n.Op); err != nil {
+				return nil, fmt.Errorf("oven: interning node %d: %w", i, err)
+			}
+		}
+	}
+
+	g := &graphIR{opts: opts, stats: planStats{
+		maxVecSize: p.Stats.MaxVectorSize,
+		avgTokens:  p.Stats.AvgTokens,
+		sparse:     p.Stats.SparseOutput,
+	}}
+
+	// Steps 2–4.
+	if err := buildStep(p).run(g); err != nil {
+		return nil, err
+	}
+	if err := optimizerStep(opts).run(g); err != nil {
+		return nil, err
+	}
+	if err := outputStep().run(g); err != nil {
+		return nil, err
+	}
+
+	// Model Plan Compiler: map logical stages to physical kernels and
+	// assemble the plan.
+	return assemble(p, g, opts)
+}
+
+// --- Step 4: OutputGraphValidatorStep (6 rules) ---
+
+func outputStep() step {
+	done := false
+	return step{name: "OutputGraphValidator", rules: []rule{
+		{name: "ComputeStageSchemas", apply: func(g *graphIR) (bool, error) {
+			if done {
+				return false, nil
+			}
+			order, err := g.topo()
+			if err != nil {
+				return false, err
+			}
+			for _, n := range order {
+				if err := computeStageSchema(n); err != nil {
+					return false, err
+				}
+			}
+			return false, nil // labelling rules do not rewrite the graph
+		}},
+		{name: "LabelSparsity", apply: func(g *graphIR) (bool, error) {
+			if done {
+				return false, nil
+			}
+			for _, n := range g.nodes {
+				if n.schema != nil {
+					if c, err := n.schema.Single(); err == nil {
+						n.sparse = c.Sparse
+					}
+				}
+			}
+			return false, nil
+		}},
+		{name: "LabelVectorizable", apply: func(g *graphIR) (bool, error) {
+			if done {
+				return false, nil
+			}
+			for _, n := range g.nodes {
+				compute := false
+				for _, op := range n.ops {
+					if op.Info().ComputeBound {
+						compute = true
+					}
+				}
+				n.vectorizable = compute && !n.sparse
+			}
+			return false, nil
+		}},
+		{name: "ComputeOutCaps", apply: func(g *graphIR) (bool, error) {
+			if done {
+				return false, nil
+			}
+			for _, n := range g.nodes {
+				n.outCap = outCapOf(n)
+			}
+			return false, nil
+		}},
+		{name: "AssignStageIDs", apply: func(g *graphIR) (bool, error) {
+			if done {
+				return false, nil
+			}
+			for _, n := range g.nodes {
+				n.id = stageIdentity(n)
+			}
+			return false, nil
+		}},
+		{name: "FinalValidation", apply: func(g *graphIR) (bool, error) {
+			if done {
+				return false, nil
+			}
+			done = true
+			if g.output == nil {
+				return false, fmt.Errorf("no output stage")
+			}
+			if _, err := g.topo(); err != nil {
+				return false, err
+			}
+			for _, n := range g.nodes {
+				if len(n.ops) == 0 {
+					return false, fmt.Errorf("empty stage survived optimization")
+				}
+			}
+			return false, nil
+		}},
+	}}
+}
+
+// computeStageSchema derives the output schema of a stage.
+func computeStageSchema(n *snode) error {
+	switch {
+	case n.pushed && !n.finisher:
+		// The featurization result is absorbed into the accumulator; the
+		// data output is the pass-through token list.
+		n.schema = schema.Tokens("tokens")
+		return nil
+	case n.pushed && n.finisher:
+		n.schema = schema.Scalar("prediction")
+		return nil
+	case n.materializable:
+		dim := 0
+		sparse := false
+		for _, op := range n.ops {
+			switch t := op.(type) {
+			case *ops.CharNgram:
+				dim += t.Dim()
+				sparse = true
+			case *ops.WordNgram:
+				dim += t.Dim()
+				sparse = true
+			}
+		}
+		n.schema = schema.Vector("features", dim, sparse)
+		return nil
+	default:
+		// Linear chain: propagate through the fused ops. The first op may
+		// be multi-input; use its trained arity with unknown-vector
+		// placeholders for schema purposes.
+		var cur *schema.Schema
+		for i, op := range n.ops {
+			var ins []*schema.Schema
+			if i == 0 {
+				arity := op.Info().NInputs
+				if arity < 1 {
+					arity = 1
+				}
+				ins = make([]*schema.Schema, arity)
+				for k := range ins {
+					ins[k] = inputPlaceholder(op, k)
+				}
+			} else {
+				ins = []*schema.Schema{cur}
+			}
+			out, err := op.OutSchema(ins)
+			if err != nil {
+				return fmt.Errorf("stage schema (%s): %w", op.Info().Kind, err)
+			}
+			cur = out
+		}
+		n.schema = cur
+		return nil
+	}
+}
+
+// inputPlaceholder fabricates a schema matching what op expects on input
+// k (stage inputs were validated in step 1; this only recomputes shapes).
+func inputPlaceholder(op ops.Op, k int) *schema.Schema {
+	switch t := op.(type) {
+	case *ops.Tokenizer, *ops.CSVSelect, *ops.ParseFloats:
+		return schema.Text("in")
+	case *ops.CharNgram, *ops.WordNgram, *ops.HashNgram:
+		return schema.Tokens("in")
+	case *ops.Concat:
+		return schema.Vector("in", t.Dims[k], true)
+	case *ops.Calibrator:
+		return schema.Scalar("in")
+	default:
+		return schema.Vector("in", 0, false)
+	}
+}
+
+// outCapOf sizes the pool request for a stage output (§4.1.1: statistics
+// such as max vector size "define the minimum size of vectors to fetch
+// from the pool at prediction time").
+func outCapOf(n *snode) int {
+	c, err := n.schema.Single()
+	if err != nil {
+		return 64
+	}
+	switch c.Kind {
+	case schema.ColScalar:
+		return 1
+	case schema.ColTokens:
+		return 0 // arena-backed; dense buffer unused
+	case schema.ColVector:
+		if c.Sparse {
+			return 256
+		}
+		if c.Dim > 0 && c.Dim < 4096 {
+			return c.Dim
+		}
+		return 4096
+	default:
+		return 64
+	}
+}
+
+// stageIdentity hashes the stage contents, including pushdown parameters
+// (two stages sharing dictionaries but carrying different pushed weights
+// must not share a kernel).
+func stageIdentity(n *snode) uint64 {
+	id := plan.StageID(kernelKindOf(n), n.ops)
+	if n.pushed {
+		h := fnv.New64a()
+		var b [4]byte
+		for _, w := range n.pushW {
+			binary.LittleEndian.PutUint32(b[:], math.Float32bits(w))
+			h.Write(b[:])
+		}
+		binary.LittleEndian.PutUint32(b[:], math.Float32bits(n.pushBias))
+		h.Write(b[:])
+		b[0] = byte(n.pushLink)
+		h.Write(b[:1])
+		id = id*0x100000001b3 ^ h.Sum64()
+	}
+	return id
+}
+
+// kernelKindOf names the physical implementation a stage maps to.
+func kernelKindOf(n *snode) string {
+	switch {
+	case n.pushed && n.finisher:
+		return "sa-tail"
+	case n.pushed:
+		return "sa-head"
+	case n.materializable:
+		return "sa-featurize"
+	case n.kindsAre("LinearPredictor"):
+		return "linear-score"
+	case n.kindsAre("Concat"):
+		return "concat"
+	default:
+		return "generic"
+	}
+}
+
+// --- Model Plan Compiler ---
+
+// buildKernel constructs the physical kernel of a stage (the logical →
+// physical mapping, selected from stage parameters and statistics).
+func buildKernel(n *snode) (plan.Kernel, error) {
+	switch kernelKindOf(n) {
+	case "sa-head":
+		var char *ops.CharNgram
+		tokenize := false
+		for _, op := range n.ops {
+			switch t := op.(type) {
+			case *ops.CharNgram:
+				char = t
+			case *ops.Tokenizer:
+				tokenize = true
+			}
+		}
+		if char == nil {
+			return nil, fmt.Errorf("oven: pushed head stage without CharNgram")
+		}
+		return &plan.SAHeadKernel{
+			Char:     text.CharNgramConfig{MinN: char.MinN, MaxN: char.MaxN, Dict: char.Dict},
+			Weights:  n.pushW,
+			Tokenize: tokenize,
+		}, nil
+	case "sa-tail":
+		var word *ops.WordNgram
+		tokenize := false
+		for _, op := range n.ops {
+			switch t := op.(type) {
+			case *ops.WordNgram:
+				word = t
+			case *ops.Tokenizer:
+				tokenize = true
+			}
+		}
+		if word == nil {
+			return nil, fmt.Errorf("oven: pushed tail stage without WordNgram")
+		}
+		return &plan.SATailKernel{
+			Word:     text.WordNgramConfig{MaxN: word.MaxN, Dict: word.Dict},
+			Weights:  n.pushW,
+			Bias:     n.pushBias,
+			Link:     n.pushLink,
+			Tokenize: tokenize,
+		}, nil
+	case "sa-featurize":
+		var char *ops.CharNgram
+		var word *ops.WordNgram
+		for _, op := range n.ops {
+			switch t := op.(type) {
+			case *ops.CharNgram:
+				char = t
+			case *ops.WordNgram:
+				word = t
+			}
+		}
+		if char == nil || word == nil {
+			return nil, fmt.Errorf("oven: materializable stage missing n-gram configs")
+		}
+		return &plan.FeaturizeKernel{
+			Char:    text.CharNgramConfig{MinN: char.MinN, MaxN: char.MaxN, Dict: char.Dict},
+			Word:    text.WordNgramConfig{MaxN: word.MaxN, Dict: word.Dict},
+			CharDim: char.Dim(),
+		}, nil
+	case "linear-score":
+		lp := n.ops[0].(*ops.LinearPredictor)
+		return &plan.LinearScoreKernel{Model: lp.Model}, nil
+	case "concat":
+		return &plan.ConcatKernel{Op: n.ops[0].(*ops.Concat)}, nil
+	default:
+		return &plan.GenericKernel{Fused: n.ops}, nil
+	}
+}
+
+// assemble produces the final plan from the optimized stage graph.
+func assemble(p *pipeline.Pipeline, g *graphIR, opts Options) (*plan.Plan, error) {
+	order, err := g.topo()
+	if err != nil {
+		return nil, err
+	}
+	index := make(map[*snode]int, len(order))
+	for i, n := range order {
+		index[n] = i
+	}
+	inputIsText := false
+	if p.InputSchema != nil {
+		if c, err := p.InputSchema.Single(); err == nil && c.Kind == schema.ColText {
+			inputIsText = true
+		}
+	}
+	pl := &plan.Plan{
+		Name:        p.Name,
+		MaxVecSize:  g.stats.maxVecSize,
+		InputIsText: inputIsText,
+	}
+	for _, n := range order {
+		kind := kernelKindOf(n)
+		st := &plan.Stage{
+			ID:             n.id,
+			Ops:            n.ops,
+			OutCap:         n.outCap,
+			Materializable: n.materializable,
+			UsesAcc:        kind == "sa-head" || kind == "sa-tail",
+		}
+		for _, in := range n.inputs {
+			if in == nil {
+				st.Inputs = append(st.Inputs, plan.InputID)
+			} else {
+				idx, ok := index[in]
+				if !ok {
+					return nil, fmt.Errorf("oven: dangling stage input")
+				}
+				st.Inputs = append(st.Inputs, idx)
+			}
+		}
+		node := n
+		if opts.AOT {
+			k, err := buildKernel(node)
+			if err != nil {
+				return nil, err
+			}
+			st.Kern = k
+		} else {
+			st.Bind = func() plan.Kernel {
+				k, err := buildKernel(node)
+				if err != nil {
+					return &errKernel{err: err}
+				}
+				return k
+			}
+		}
+		pl.Stages = append(pl.Stages, st)
+	}
+	if err := pl.Validate(); err != nil {
+		return nil, err
+	}
+	return pl, nil
+}
+
+// errKernel surfaces a deferred binding failure at execution time.
+type errKernel struct{ err error }
+
+// Kind implements Kernel.
+func (e *errKernel) Kind() string { return "error" }
+
+// Run implements Kernel.
+func (e *errKernel) Run(*plan.Exec, []*vector.Vector, *vector.Vector) error { return e.err }

@@ -1,0 +1,228 @@
+package pipeline
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pretzel/internal/ml"
+	"pretzel/internal/ops"
+	"pretzel/internal/schema"
+	"pretzel/internal/text"
+	"pretzel/internal/vector"
+)
+
+// buildSA constructs a small sentiment-analysis pipeline:
+// Tokenizer -> {CharNgram, WordNgram} -> Concat -> LinearPredictor.
+func buildSA(t *testing.T) *Pipeline {
+	t.Helper()
+	corpus := []string{"nice product works great", "terrible broken refund bad"}
+	cb := text.NewDictBuilder()
+	wb := text.NewDictBuilder()
+	for _, doc := range corpus {
+		toks := text.Tokenize(doc, nil)
+		for _, tok := range toks {
+			text.ObserveCharNgrams(cb, []byte(tok), 2, 3)
+		}
+		text.ObserveWordNgrams(wb, toks, 2, nil)
+	}
+	cd, wd := cb.Build(0), wb.Build(0)
+	weights := make([]float32, cd.Size()+wd.Size())
+	if ix := wd.Lookup("nice"); ix >= 0 {
+		weights[cd.Size()+int(ix)] = 2
+	}
+	if ix := wd.Lookup("bad"); ix >= 0 {
+		weights[cd.Size()+int(ix)] = -2
+	}
+	return &Pipeline{
+		Name:        "sa-test",
+		InputSchema: schema.Text("Text"),
+		Stats:       Stats{MaxVectorSize: cd.Size() + wd.Size(), SparseOutput: true},
+		Nodes: []Node{
+			{Op: &ops.Tokenizer{}, Inputs: []int{InputID}},
+			{Op: &ops.CharNgram{MinN: 2, MaxN: 3, Dict: cd}, Inputs: []int{0}},
+			{Op: &ops.WordNgram{MaxN: 2, Dict: wd}, Inputs: []int{0}},
+			{Op: &ops.Concat{Dims: []int{cd.Size(), wd.Size()}}, Inputs: []int{1, 2}},
+			{Op: &ops.LinearPredictor{Model: &ml.LinearModel{Kind: ml.LogisticRegression, Weights: weights}}, Inputs: []int{3}},
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	p := buildSA(t)
+	out, err := p.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := out.Single()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Kind != schema.ColScalar {
+		t.Fatalf("output kind %v", c.Kind)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	empty := &Pipeline{Name: "e", InputSchema: schema.Text("t")}
+	if _, err := empty.Validate(); err == nil {
+		t.Fatal("empty pipeline must fail validation")
+	}
+	noSchema := buildSA(t)
+	noSchema.InputSchema = nil
+	if _, err := noSchema.Validate(); err == nil {
+		t.Fatal("missing input schema must fail")
+	}
+	// Kind mismatch: tokenizer fed a vector input.
+	bad := &Pipeline{
+		Name:        "bad",
+		InputSchema: schema.Vector("v", 3, false),
+		Nodes:       []Node{{Op: &ops.Tokenizer{}, Inputs: []int{InputID}}},
+	}
+	if _, err := bad.Validate(); err == nil {
+		t.Fatal("kind mismatch must fail")
+	}
+	// Forward reference.
+	fwd := buildSA(t)
+	fwd.Nodes[0].Inputs = []int{3}
+	if _, err := fwd.Validate(); err == nil {
+		t.Fatal("forward reference must fail")
+	}
+}
+
+func TestRunSA(t *testing.T) {
+	p := buildSA(t)
+	in := vector.New(0)
+	out := vector.New(0)
+
+	in.SetText("a nice thing")
+	if err := p.Run(in, out, nil); err != nil {
+		t.Fatal(err)
+	}
+	pos := out.Dense[0]
+	in.SetText("a bad thing")
+	if err := p.Run(in, out, nil); err != nil {
+		t.Fatal(err)
+	}
+	neg := out.Dense[0]
+	if pos <= 0.5 || neg >= 0.5 {
+		t.Fatalf("sentiment scores: pos=%v neg=%v", pos, neg)
+	}
+}
+
+func TestRunWithScratch(t *testing.T) {
+	p := buildSA(t)
+	scratch := make([]*vector.Vector, len(p.Nodes))
+	for i := range scratch {
+		scratch[i] = vector.New(64)
+	}
+	in, out := vector.New(0), vector.New(0)
+	in.SetText("nice nice nice")
+	if err := p.Run(in, out, scratch); err != nil {
+		t.Fatal(err)
+	}
+	first := out.Dense[0]
+	// Re-running with the same scratch must give the same answer.
+	if err := p.Run(in, out, scratch); err != nil {
+		t.Fatal(err)
+	}
+	if out.Dense[0] != first {
+		t.Fatalf("scratch reuse changed result: %v vs %v", out.Dense[0], first)
+	}
+}
+
+func TestRunErrorPropagates(t *testing.T) {
+	p := buildSA(t)
+	in, out := vector.New(0), vector.New(0)
+	in.SetDense([]float32{1}) // wrong input kind
+	err := p.Run(in, out, nil)
+	if err == nil {
+		t.Fatal("wrong input kind must error")
+	}
+	if !strings.Contains(err.Error(), "Tokenizer") {
+		t.Fatalf("error should name the failing operator: %v", err)
+	}
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	p := buildSA(t)
+	b, err := p.ExportBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ImportBytes(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != p.Name || len(got.Nodes) != len(p.Nodes) {
+		t.Fatalf("structure lost: %s %d nodes", got.Name, len(got.Nodes))
+	}
+	if got.Checksum() != p.Checksum() {
+		t.Fatal("checksum changed over export/import")
+	}
+	if got.Stats != p.Stats {
+		t.Fatalf("stats lost: %+v", got.Stats)
+	}
+	// Same predictions.
+	in, out1, out2 := vector.New(0), vector.New(0), vector.New(0)
+	in.SetText("nice bad nice")
+	if err := p.Run(in, out1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Run(in, out2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if out1.Dense[0] != out2.Dense[0] {
+		t.Fatalf("prediction changed: %v vs %v", out1.Dense[0], out2.Dense[0])
+	}
+}
+
+func TestImportErrors(t *testing.T) {
+	if _, err := ImportBytes([]byte("not a zip")); err == nil {
+		t.Fatal("garbage must fail")
+	}
+	// Valid zip, no manifest.
+	var buf bytes.Buffer
+	p := buildSA(t)
+	_ = p // build a zip without manifest by hand
+	zb, _ := p.ExportBytes()
+	_ = zb
+	buf.Reset()
+	if _, err := ImportBytes(buf.Bytes()); err == nil {
+		t.Fatal("empty must fail")
+	}
+}
+
+func TestMemBytesAndChecksum(t *testing.T) {
+	p := buildSA(t)
+	if p.MemBytes() < 1000 {
+		t.Fatalf("membytes too small: %d", p.MemBytes())
+	}
+	q := buildSA(t)
+	if p.Checksum() != q.Checksum() {
+		t.Fatal("identical pipelines must share checksum")
+	}
+	q.Nodes = q.Nodes[:len(q.Nodes)-1]
+	if p.Checksum() == q.Checksum() {
+		t.Fatal("truncated pipeline must differ")
+	}
+}
+
+func TestExportedFileLayout(t *testing.T) {
+	p := buildSA(t)
+	b, err := p.ExportBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The archive must contain one directory per operator, ML.Net style.
+	got, err := ImportBytes(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []string{"Tokenizer", "CharNgram", "WordNgram", "Concat", "LinearPredictor"}
+	for i, k := range kinds {
+		if got.Nodes[i].Op.Info().Kind != k {
+			t.Fatalf("node %d kind %s, want %s", i, got.Nodes[i].Op.Info().Kind, k)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+// Package plan defines PRETZEL model plans: the compiled, white-box
+// representation of a trained pipeline (§4.1.2). A plan is a DAG of
+// stages; each stage binds a logical view (the fused operator sequence)
+// to a physical implementation — an AOT-compiled, lock-free, parametric
+// kernel that is shared between plans with identical stages and fed at
+// runtime with pooled vectors and an execution context.
+package plan
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+
+	"pretzel/internal/ops"
+	"pretzel/internal/store"
+	"pretzel/internal/text"
+	"pretzel/internal/vector"
+)
+
+// InputID denotes the plan input in stage dependency lists.
+const InputID = -1
+
+// Exec is the per-execution mutable state threaded through a plan's
+// stages. Kernels themselves are stateless and shared; everything that
+// varies per prediction lives here. Executors own a pool of Exec values,
+// so the prediction path does not allocate.
+type Exec struct {
+	// Acc accumulates the partial margins of linear models pushed through
+	// Concat: each featurizing stage adds its block's dot product, the
+	// final stage applies bias and link (§4.1.2, "in the example ... the
+	// linear regression can be pushed into CharNgram and WordNgram,
+	// therefore bypassing the execution of Concat").
+	Acc float32
+
+	// Pool supplies intermediate vectors.
+	Pool *vector.Pool
+
+	// Cache, when non-nil, enables sub-plan materialization (§4.3).
+	Cache *store.MatCache
+
+	// Scratch state reused across stage executions.
+	TokBuf  []byte
+	WStream text.WordNgramStream
+	outTab  []*vector.Vector
+}
+
+// Reset prepares the context for a fresh prediction.
+func (e *Exec) Reset() { e.Acc = 0 }
+
+// Kernel is a physical stage implementation: an AOT-compiled parametric
+// computation unit. Kernels must be safe for concurrent Run calls (all
+// mutable state is in Exec or the caller-provided vectors).
+type Kernel interface {
+	// Kind names the physical implementation class.
+	Kind() string
+	// Run evaluates the stage.
+	Run(ec *Exec, ins []*vector.Vector, out *vector.Vector) error
+}
+
+// Stage is one node of the compiled plan DAG.
+type Stage struct {
+	// ID identifies the stage contents: kernel kind + parameter
+	// checksums. Stages with equal IDs across plans share the physical
+	// kernel instance (runtime catalog) and the materialization cache.
+	ID uint64
+
+	// Ops is the logical view: the fused operator sequence.
+	Ops []ops.Op
+
+	// Inputs lists producer stage indices (InputID = plan input).
+	Inputs []int
+
+	// Kern is the bound physical implementation. With AOT compilation
+	// (the default) it is set at compile time; with AOT disabled it is
+	// built by Bind on first execution (the §5.2.1 AOT ablation).
+	Kern Kernel
+
+	// Bind lazily constructs the kernel when AOT is off.
+	Bind func() Kernel
+
+	bindOnce sync.Once
+
+	// OutCap is the pool capacity hint for the stage output vector.
+	OutCap int
+
+	// Materializable marks stages whose results may be cached by input
+	// hash (pure featurization stages shared across plans).
+	Materializable bool
+
+	// UsesAcc marks stages that read/write the pushdown accumulator.
+	// The compiler only emits them in linear chains, which lets the
+	// scheduler skip accumulator handoff for stages that may run
+	// concurrently within a job.
+	UsesAcc bool
+}
+
+// Kernel returns the stage's physical implementation, binding it on first
+// use when AOT compilation was disabled.
+func (s *Stage) Kernel() Kernel {
+	if s.Kern == nil && s.Bind != nil {
+		s.bindOnce.Do(func() { s.Kern = s.Bind() })
+	}
+	return s.Kern
+}
+
+// Plan is a compiled model plan.
+type Plan struct {
+	Name string
+	// Stages in topological order; the last stage produces the output.
+	Stages []*Stage
+	// MaxVecSize is the training statistic used to size vector requests.
+	MaxVecSize int
+	// InputIsText records the expected input kind for the FrontEnd.
+	InputIsText bool
+}
+
+// Output returns the index of the output stage.
+func (p *Plan) Output() int { return len(p.Stages) - 1 }
+
+// Validate checks structural invariants of the compiled plan.
+func (p *Plan) Validate() error {
+	if len(p.Stages) == 0 {
+		return fmt.Errorf("plan %s: no stages", p.Name)
+	}
+	for i, s := range p.Stages {
+		if len(s.Ops) == 0 {
+			return fmt.Errorf("plan %s: stage %d empty", p.Name, i)
+		}
+		for _, in := range s.Inputs {
+			if in != InputID && (in < 0 || in >= i) {
+				return fmt.Errorf("plan %s: stage %d input %d not topological", p.Name, i, in)
+			}
+		}
+	}
+	return nil
+}
+
+// StageID computes the identity hash of a fused operator sequence under a
+// physical kernel kind.
+func StageID(kernelKind string, fused []ops.Op) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(kernelKind))
+	var acc uint64 = h.Sum64()
+	for _, op := range fused {
+		acc = acc*0x100000001b3 ^ ops.Checksum(op)
+	}
+	return acc
+}
+
+// HashInput computes the cache key hash of an input vector (sub-plan
+// materialization keys results by stage and input).
+func HashInput(v *vector.Vector) uint64 {
+	h := fnv.New64a()
+	switch v.Kind {
+	case vector.KindText:
+		h.Write([]byte{1})
+		h.Write([]byte(v.Text))
+	case vector.KindTokens:
+		h.Write([]byte{2})
+		for i := 0; i < v.NumTokens(); i++ {
+			h.Write(v.TokenAt(i))
+			h.Write([]byte{0})
+		}
+	case vector.KindDense:
+		h.Write([]byte{3})
+		for _, x := range v.Dense {
+			var b [4]byte
+			u := f32bits(x)
+			b[0], b[1], b[2], b[3] = byte(u), byte(u>>8), byte(u>>16), byte(u>>24)
+			h.Write(b[:])
+		}
+	case vector.KindSparse:
+		h.Write([]byte{4})
+		for i, ix := range v.Idx {
+			var b [8]byte
+			u := uint32(ix)
+			w := f32bits(v.Val[i])
+			b[0], b[1], b[2], b[3] = byte(u), byte(u>>8), byte(u>>16), byte(u>>24)
+			b[4], b[5], b[6], b[7] = byte(w), byte(w>>8), byte(w>>16), byte(w>>24)
+			h.Write(b[:])
+		}
+	}
+	return h.Sum64()
+}
+
+func f32bits(f float32) uint32 { return math.Float32bits(f) }

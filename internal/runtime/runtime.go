@@ -1,0 +1,266 @@
+// Package runtime implements the PRETZEL Runtime (§4.2.1): the system
+// catalog of registered model plans with physical-stage sharing, the
+// pooled execution resources, and the two serving engines —
+//
+//   - the request-response engine, which inlines a whole plan's execution
+//     into the calling goroutine (lowest latency, no scheduling overhead);
+//   - the batch engine, which forwards stage events to the Scheduler so
+//     many plans can share executors at high utilization.
+package runtime
+
+import (
+	"fmt"
+	"sync"
+
+	"pretzel/internal/plan"
+	"pretzel/internal/sched"
+	"pretzel/internal/store"
+	"pretzel/internal/vector"
+)
+
+// Config parameterizes a Runtime.
+type Config struct {
+	// Executors is the number of batch-engine executors (≈ cores).
+	Executors int
+	// MatCacheBytes enables sub-plan materialization with this budget
+	// when > 0 (§4.3).
+	MatCacheBytes int
+	// DisableVectorPooling runs the §5.2.1 ablation.
+	DisableVectorPooling bool
+	// VectorsPerExecutor / VectorCapHint preallocate executor pools.
+	VectorsPerExecutor int
+	VectorCapHint      int
+}
+
+// Registered is a plan installed in the runtime.
+type Registered struct {
+	ID   uint64
+	Plan *plan.Plan
+}
+
+// Runtime hosts registered plans and serves predictions.
+type Runtime struct {
+	cfg      Config
+	objStore *store.ObjectStore
+	matCache *store.MatCache
+	sched    *sched.Scheduler
+
+	mu      sync.RWMutex
+	plans   map[string]*Registered
+	nextID  uint64
+	catalog map[uint64]plan.Kernel
+
+	catalogHits   uint64
+	catalogMisses uint64
+
+	// rrPool supplies vectors to the request-response engine.
+	rrPool   *vector.Pool
+	execPool sync.Pool
+}
+
+// New starts a runtime. objStore may be nil (no parameter sharing).
+func New(objStore *store.ObjectStore, cfg Config) *Runtime {
+	rt := &Runtime{
+		cfg:      cfg,
+		objStore: objStore,
+		plans:    make(map[string]*Registered),
+		catalog:  make(map[uint64]plan.Kernel),
+	}
+	if cfg.MatCacheBytes > 0 {
+		rt.matCache = store.NewMatCache(cfg.MatCacheBytes)
+	}
+	if cfg.DisableVectorPooling {
+		rt.rrPool = vector.NewDisabledPool()
+	} else {
+		rt.rrPool = vector.NewPool()
+	}
+	rt.execPool.New = func() any {
+		return &plan.Exec{Pool: rt.rrPool, Cache: rt.matCache}
+	}
+	rt.sched = sched.New(sched.Config{
+		Executors:            cfg.Executors,
+		DisableVectorPooling: cfg.DisableVectorPooling,
+		VectorsPerExecutor:   cfg.VectorsPerExecutor,
+		VectorCapHint:        cfg.VectorCapHint,
+	})
+	return rt
+}
+
+// ObjectStore returns the runtime's object store (may be nil).
+func (rt *Runtime) ObjectStore() *store.ObjectStore { return rt.objStore }
+
+// MatCache returns the materialization cache (nil when disabled).
+func (rt *Runtime) MatCache() *store.MatCache { return rt.matCache }
+
+// Register installs a compiled plan: physical stages already present in
+// the system catalog (same stage ID) are shared — the plan's stage is
+// rewired to the canonical kernel instance, so similar plans share both
+// parameters (via the Object Store) and code (via the catalog).
+func (rt *Runtime) Register(p *plan.Plan) (uint64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if _, dup := rt.plans[p.Name]; dup {
+		return 0, fmt.Errorf("runtime: plan %q already registered", p.Name)
+	}
+	for _, s := range p.Stages {
+		if k, ok := rt.catalog[s.ID]; ok {
+			s.Kern = k
+			s.Bind = nil
+			rt.catalogHits++
+			continue
+		}
+		if kern := s.Kernel(); kern != nil {
+			rt.catalog[s.ID] = kern
+		}
+		rt.catalogMisses++
+	}
+	rt.nextID++
+	rt.plans[p.Name] = &Registered{ID: rt.nextID, Plan: p}
+	return rt.nextID, nil
+}
+
+// Unregister removes a plan from the runtime. Catalog entries are kept
+// (other plans may share them); parameters are released from the Object
+// Store by the caller if desired.
+func (rt *Runtime) Unregister(name string) {
+	rt.mu.Lock()
+	delete(rt.plans, name)
+	rt.mu.Unlock()
+}
+
+// lookup fetches a registered plan.
+func (rt *Runtime) lookup(name string) (*Registered, error) {
+	rt.mu.RLock()
+	r, ok := rt.plans[name]
+	rt.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("runtime: plan %q not registered", name)
+	}
+	return r, nil
+}
+
+// Names lists registered plan names.
+func (rt *Runtime) Names() []string {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	out := make([]string, 0, len(rt.plans))
+	for n := range rt.plans {
+		out = append(out, n)
+	}
+	return out
+}
+
+// CatalogStats reports physical-stage sharing counters.
+type CatalogStats struct {
+	Hits, Misses uint64
+	Kernels      int
+	Plans        int
+}
+
+// CatalogStats returns a snapshot of catalog counters.
+func (rt *Runtime) CatalogStats() CatalogStats {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return CatalogStats{
+		Hits:    rt.catalogHits,
+		Misses:  rt.catalogMisses,
+		Kernels: len(rt.catalog),
+		Plans:   len(rt.plans),
+	}
+}
+
+// Predict serves one request on the request-response engine: execution
+// is inlined in the calling goroutine (no scheduling overhead; §4.2.1).
+func (rt *Runtime) Predict(name string, in, out *vector.Vector) error {
+	r, err := rt.lookup(name)
+	if err != nil {
+		return err
+	}
+	ec := rt.execPool.Get().(*plan.Exec)
+	err = plan.RunPlan(r.Plan, ec, in, out)
+	rt.execPool.Put(ec)
+	return err
+}
+
+// Submit schedules one prediction on the batch engine and returns the
+// job; callers Wait on it.
+func (rt *Runtime) Submit(name string, in, out *vector.Vector) (*sched.Job, error) {
+	r, err := rt.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	j := sched.NewJob(r.Plan, in, out, rt.matCache)
+	rt.sched.Submit(j)
+	return j, nil
+}
+
+// SubmitBatch schedules a whole batch of records as one job: every
+// pipeline stage becomes a single event processing all records (the
+// batch engine's unit of work).
+func (rt *Runtime) SubmitBatch(name string, ins, outs []*vector.Vector) (*sched.Job, error) {
+	if len(ins) != len(outs) {
+		return nil, fmt.Errorf("runtime: batch ins/outs mismatch (%d/%d)", len(ins), len(outs))
+	}
+	r, err := rt.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	j := sched.NewBatchJob(r.Plan, ins, outs, rt.matCache)
+	rt.sched.Submit(j)
+	return j, nil
+}
+
+// PredictBatch serves a batch of records through the batch engine and
+// waits for completion.
+func (rt *Runtime) PredictBatch(name string, ins, outs []*vector.Vector) error {
+	j, err := rt.SubmitBatch(name, ins, outs)
+	if err != nil {
+		return err
+	}
+	return j.Wait()
+}
+
+// Reserve dedicates cores (and their vector pools) to one plan
+// (reservation-based scheduling, §4.2.2).
+func (rt *Runtime) Reserve(name string, cores int) error {
+	if _, err := rt.lookup(name); err != nil {
+		return err
+	}
+	return rt.sched.Reserve(name, cores)
+}
+
+// MemBytes estimates the runtime memory footprint: unique parameters in
+// the Object Store (or per-plan parameters when no store is used) plus
+// plan/stage bookkeeping.
+func (rt *Runtime) MemBytes() int {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	total := 0
+	if rt.objStore != nil {
+		total += rt.objStore.MemBytes()
+		// Plan skeletons: stages + wiring, parameters counted once above.
+		for _, r := range rt.plans {
+			total += 256 + 128*len(r.Plan.Stages)
+		}
+		return total
+	}
+	// Without an Object Store every plan holds its own parameter copies.
+	for _, r := range rt.plans {
+		total += 256
+		for _, s := range r.Plan.Stages {
+			total += 128
+			for _, op := range s.Ops {
+				for _, p := range op.Params() {
+					total += p.MemBytes()
+				}
+			}
+		}
+	}
+	return total
+}
+
+// Close stops the batch engine.
+func (rt *Runtime) Close() { rt.sched.Close() }

@@ -1,0 +1,291 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"pretzel/internal/ml"
+	"pretzel/internal/ops"
+	"pretzel/internal/oven"
+	"pretzel/internal/pipeline"
+	"pretzel/internal/plan"
+	"pretzel/internal/schema"
+	"pretzel/internal/store"
+	"pretzel/internal/text"
+	"pretzel/internal/vector"
+)
+
+// saPipeline builds a deterministic SA pipeline; bump differentiates the
+// model weights while keeping the dictionaries shared.
+func saPipeline(t testing.TB, name string, bump float32) *pipeline.Pipeline {
+	t.Helper()
+	cb, wb := text.NewDictBuilder(), text.NewDictBuilder()
+	for _, doc := range []string{"nice product great wonderful", "bad refund awful broken"} {
+		toks := text.Tokenize(doc, nil)
+		for _, tok := range toks {
+			text.ObserveCharNgrams(cb, []byte(tok), 2, 3)
+		}
+		text.ObserveWordNgrams(wb, toks, 2, nil)
+	}
+	cd, wd := cb.Build(0), wb.Build(0)
+	weights := make([]float32, cd.Size()+wd.Size())
+	if ix := wd.Lookup("nice"); ix >= 0 {
+		weights[cd.Size()+int(ix)] = 3 + bump
+	}
+	return &pipeline.Pipeline{
+		Name:        name,
+		InputSchema: schema.Text("Text"),
+		Stats:       pipeline.Stats{MaxVectorSize: cd.Size() + wd.Size(), SparseOutput: true},
+		Nodes: []pipeline.Node{
+			{Op: &ops.Tokenizer{}, Inputs: []int{pipeline.InputID}},
+			{Op: &ops.CharNgram{MinN: 2, MaxN: 3, Dict: cd}, Inputs: []int{0}},
+			{Op: &ops.WordNgram{MaxN: 2, Dict: wd}, Inputs: []int{0}},
+			{Op: &ops.Concat{Dims: []int{cd.Size(), wd.Size()}}, Inputs: []int{1, 2}},
+			{Op: &ops.LinearPredictor{Model: &ml.LinearModel{Kind: ml.LogisticRegression, Weights: weights}}, Inputs: []int{3}},
+		},
+	}
+}
+
+func newRT(t testing.TB, cfg Config) (*Runtime, *store.ObjectStore) {
+	t.Helper()
+	os := store.New()
+	rt := New(os, cfg)
+	t.Cleanup(rt.Close)
+	return rt, os
+}
+
+func register(t testing.TB, rt *Runtime, os *store.ObjectStore, pipe *pipeline.Pipeline, opts oven.Options) *plan.Plan {
+	t.Helper()
+	pl, err := oven.Compile(pipe, os, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Register(pl); err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+func TestRequestResponseEngine(t *testing.T) {
+	rt, os := newRT(t, Config{Executors: 2})
+	register(t, rt, os, saPipeline(t, "sa", 0), oven.DefaultOptions())
+	in, out := vector.New(0), vector.New(0)
+	in.SetText("a nice product")
+	if err := rt.Predict("sa", in, out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Dense[0] <= 0.5 {
+		t.Fatalf("score %v", out.Dense[0])
+	}
+	if err := rt.Predict("missing", in, out); err == nil {
+		t.Fatal("unknown plan must error")
+	}
+}
+
+func TestBatchEngine(t *testing.T) {
+	rt, os := newRT(t, Config{Executors: 4})
+	register(t, rt, os, saPipeline(t, "sa", 0), oven.DefaultOptions())
+	const n = 64
+	ins := make([]*vector.Vector, n)
+	outs := make([]*vector.Vector, n)
+	for i := range ins {
+		ins[i] = vector.New(0)
+		ins[i].SetText("nice product")
+		outs[i] = vector.New(0)
+	}
+	if err := rt.PredictBatch("sa", ins, outs); err != nil {
+		t.Fatal(err)
+	}
+	for i := range outs {
+		if outs[i].Dense[0] != outs[0].Dense[0] {
+			t.Fatalf("batch result %d differs", i)
+		}
+	}
+	if err := rt.PredictBatch("sa", ins, outs[:1]); err == nil {
+		t.Fatal("mismatched batch must error")
+	}
+	if err := rt.PredictBatch("nope", ins, outs); err == nil {
+		t.Fatal("unknown plan must error")
+	}
+}
+
+func TestEnginesAgree(t *testing.T) {
+	rt, os := newRT(t, Config{Executors: 2})
+	register(t, rt, os, saPipeline(t, "sa", 0), oven.DefaultOptions())
+	in, a, b := vector.New(0), vector.New(0), vector.New(0)
+	in.SetText("nice bad product refund")
+	if err := rt.Predict("sa", in, a); err != nil {
+		t.Fatal(err)
+	}
+	j, err := rt.Submit("sa", in, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Dense[0] != b.Dense[0] {
+		t.Fatalf("request-response %v batch %v", a.Dense[0], b.Dense[0])
+	}
+}
+
+func TestCatalogSharing(t *testing.T) {
+	rt, os := newRT(t, Config{Executors: 1})
+	// Identical pipelines: every stage shared.
+	register(t, rt, os, saPipeline(t, "a", 0), oven.DefaultOptions())
+	register(t, rt, os, saPipeline(t, "b", 0), oven.DefaultOptions())
+	st := rt.CatalogStats()
+	if st.Hits != 2 {
+		t.Fatalf("identical plans must share both stages: %+v", st)
+	}
+	if st.Kernels != 2 {
+		t.Fatalf("catalog should hold 2 kernels: %+v", st)
+	}
+	// Same dicts, different word-block weights: the head stage (identical
+	// char block) still shares; the tail stage must not.
+	register(t, rt, os, saPipeline(t, "c", 1), oven.DefaultOptions())
+	st2 := rt.CatalogStats()
+	if st2.Hits != st.Hits+1 {
+		t.Fatalf("head should share, tail should not: %+v", st2)
+	}
+	cPlan := rt.plans["c"].Plan
+	aPlan := rt.plans["a"].Plan
+	if cPlan.Stages[1].Kern == aPlan.Stages[1].Kern {
+		t.Fatal("tail kernels with different weights must not be shared")
+	}
+	// Shared kernel instances must actually be the same object.
+	a := rt.plans["a"].Plan
+	b := rt.plans["b"].Plan
+	for i := range a.Stages {
+		if a.Stages[i].Kern != b.Stages[i].Kern {
+			t.Fatalf("stage %d kernel not shared", i)
+		}
+	}
+}
+
+func TestDuplicateRegistration(t *testing.T) {
+	rt, os := newRT(t, Config{Executors: 1})
+	register(t, rt, os, saPipeline(t, "sa", 0), oven.DefaultOptions())
+	pl, err := oven.Compile(saPipeline(t, "sa", 0), os, oven.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Register(pl); err == nil {
+		t.Fatal("duplicate name must error")
+	}
+	rt.Unregister("sa")
+	if _, err := rt.Register(pl); err != nil {
+		t.Fatal("after unregister, registration must work")
+	}
+}
+
+func TestMemBytesWithAndWithoutStore(t *testing.T) {
+	// With an object store, two same-dict plans cost ~one dictionary set.
+	rtShared, os := newRT(t, Config{Executors: 1})
+	register(t, rtShared, os, saPipeline(t, "a", 0), oven.DefaultOptions())
+	one := rtShared.MemBytes()
+	register(t, rtShared, os, saPipeline(t, "b", 1), oven.DefaultOptions())
+	two := rtShared.MemBytes()
+	if two > one+one/2 {
+		t.Fatalf("shared store should dedup dictionaries: %d -> %d", one, two)
+	}
+	// Without a store, memory doubles.
+	rtRaw := New(nil, Config{Executors: 1})
+	defer rtRaw.Close()
+	plA, err := oven.Compile(saPipeline(t, "a", 0), nil, oven.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rtRaw.Register(plA); err != nil {
+		t.Fatal(err)
+	}
+	oneRaw := rtRaw.MemBytes()
+	plB, err := oven.Compile(saPipeline(t, "b", 1), nil, oven.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rtRaw.Register(plB); err != nil {
+		t.Fatal(err)
+	}
+	twoRaw := rtRaw.MemBytes()
+	if twoRaw < oneRaw*3/2 {
+		t.Fatalf("no store should duplicate dictionaries: %d -> %d", oneRaw, twoRaw)
+	}
+}
+
+func TestReservationThroughRuntime(t *testing.T) {
+	rt, os := newRT(t, Config{Executors: 1})
+	register(t, rt, os, saPipeline(t, "vip", 0), oven.DefaultOptions())
+	if err := rt.Reserve("nope", 1); err == nil {
+		t.Fatal("reserving unknown plan must error")
+	}
+	if err := rt.Reserve("vip", 2); err != nil {
+		t.Fatal(err)
+	}
+	in, out := vector.New(0), vector.New(0)
+	in.SetText("nice")
+	j, err := rt.Submit("vip", in, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaterializationAcrossPlansViaRuntime(t *testing.T) {
+	osStore := store.New()
+	rt := New(osStore, Config{Executors: 2, MatCacheBytes: 8 << 20})
+	defer rt.Close()
+	for i := 0; i < 3; i++ {
+		pl, err := oven.Compile(saPipeline(t, fmt.Sprintf("sa-%d", i), float32(i)),
+			osStore, oven.Options{AOT: true, Materialization: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rt.Register(pl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	in := vector.New(0)
+	in.SetText("the same nice input text")
+	for i := 0; i < 3; i++ {
+		out := vector.New(0)
+		if err := rt.Predict(fmt.Sprintf("sa-%d", i), in, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs := rt.MatCache().Stats()
+	if cs.Hits < 2 {
+		t.Fatalf("plans 2 and 3 should reuse plan 1's featurization: %+v", cs)
+	}
+}
+
+func TestConcurrentPredicts(t *testing.T) {
+	rt, os := newRT(t, Config{Executors: 4})
+	register(t, rt, os, saPipeline(t, "sa", 0), oven.DefaultOptions())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			in, out := vector.New(0), vector.New(0)
+			for i := 0; i < 200; i++ {
+				in.SetText("nice product works")
+				if err := rt.Predict("sa", in, out); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestRegisterInvalidPlan(t *testing.T) {
+	rt, _ := newRT(t, Config{Executors: 1})
+	if _, err := rt.Register(&plan.Plan{Name: "empty"}); err == nil {
+		t.Fatal("invalid plan must be rejected")
+	}
+}

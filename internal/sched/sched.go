@@ -1,0 +1,392 @@
+// Package sched implements PRETZEL's event-based scheduler (§4.2.2):
+// each core runs an Executor; all executors pull stage-execution events
+// from a shared pair of queues — a low-priority queue for the head stages
+// of newly submitted pipelines and a high-priority queue for stages of
+// already-started pipelines. Started pipelines therefore finish early and
+// return their pooled vectors quickly. Reservation-based scheduling gives
+// a plan dedicated executors and vector pools, emulating container-style
+// isolation while still sharing parameters and physical stages.
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"pretzel/internal/plan"
+	"pretzel/internal/store"
+	"pretzel/internal/vector"
+)
+
+// Job is one pipeline invocation — for one record or a whole batch —
+// scheduled stage-by-stage. A batched job moves all its records through
+// a stage in one event (the batch engine's unit of work; §5.3 uses
+// batches of 1000), paying scheduling overhead once per stage rather
+// than once per record.
+type Job struct {
+	Plan *plan.Plan
+	Ins  []*vector.Vector
+	Outs []*vector.Vector
+
+	cache   *store.MatCache
+	retPool *vector.Pool       // pool bound at first stage execution
+	accs    []float32          // per-record pushdown accumulators
+	outputs [][]*vector.Vector // [stage][record] intermediate vectors
+	pending []int32            // per-stage unmet input count (atomic)
+	heads   []int              // stages with no stage dependencies
+	left    atomic.Int32
+
+	failed  atomic.Bool
+	errOnce sync.Once
+	err     error
+
+	done     chan error
+	poolOnce sync.Once
+}
+
+// NewJob prepares a single-record pipeline invocation. cache may be nil.
+func NewJob(p *plan.Plan, in, out *vector.Vector, cache *store.MatCache) *Job {
+	return NewBatchJob(p, []*vector.Vector{in}, []*vector.Vector{out}, cache)
+}
+
+// NewBatchJob prepares a batched pipeline invocation over len(ins)
+// records. cache may be nil.
+func NewBatchJob(p *plan.Plan, ins, outs []*vector.Vector, cache *store.MatCache) *Job {
+	j := &Job{Plan: p, Ins: ins, Outs: outs, done: make(chan error, 1)}
+	j.cache = cache
+	n := len(p.Stages)
+	j.accs = make([]float32, len(ins))
+	j.outputs = make([][]*vector.Vector, n)
+	j.pending = make([]int32, n)
+	for i, s := range p.Stages {
+		deps := 0
+		for _, src := range s.Inputs {
+			if src != plan.InputID {
+				deps++
+			}
+		}
+		j.pending[i] = int32(deps)
+		if deps == 0 {
+			j.heads = append(j.heads, i)
+		}
+	}
+	j.left.Store(int32(n))
+	return j
+}
+
+// Wait blocks until the job finishes and returns its error.
+func (j *Job) Wait() error { return <-j.done }
+
+// fail records the first error; later stages of the job are skipped.
+func (j *Job) fail(err error) {
+	j.errOnce.Do(func() {
+		j.err = err
+		j.failed.Store(true)
+	})
+}
+
+// event is one stage execution bound to a job.
+type event struct {
+	job   *Job
+	stage int
+}
+
+// queueSet is an unbounded two-priority blocking queue. High-priority
+// events (stages of started pipelines) are always served before
+// low-priority ones (pipeline heads), so running pipelines drain early
+// and return memory quickly (§4.2.2).
+type queueSet struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	high   []event
+	hHead  int
+	low    []event
+	lHead  int
+	closed bool
+}
+
+func newQueueSet() *queueSet {
+	q := &queueSet{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues an event; returns false if the queue is closed.
+func (q *queueSet) push(ev event, high bool) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	if high {
+		q.high = append(q.high, ev)
+	} else {
+		q.low = append(q.low, ev)
+	}
+	q.cond.Signal()
+	return true
+}
+
+// pop blocks for the next event, high priority first. ok=false on close.
+func (q *queueSet) pop() (ev event, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if len(q.high) > q.hHead {
+			ev = q.high[q.hHead]
+			q.high[q.hHead] = event{}
+			q.hHead++
+			if q.hHead == len(q.high) {
+				q.high = q.high[:0]
+				q.hHead = 0
+			}
+			return ev, true
+		}
+		if len(q.low) > q.lHead {
+			ev = q.low[q.lHead]
+			q.low[q.lHead] = event{}
+			q.lHead++
+			if q.lHead == len(q.low) {
+				q.low = q.low[:0]
+				q.lHead = 0
+			}
+			return ev, true
+		}
+		if q.closed {
+			return event{}, false
+		}
+		q.cond.Wait()
+	}
+}
+
+// close wakes all waiters; queued events are dropped.
+func (q *queueSet) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// Config sets scheduler parameters.
+type Config struct {
+	// Executors is the number of worker goroutines (≈ cores), default 4.
+	Executors int
+	// DisableVectorPooling makes executors allocate instead of pooling
+	// (the §5.2.1 ablation).
+	DisableVectorPooling bool
+	// VectorsPerExecutor preallocates pool vectors (paid at init time,
+	// §4.2.1).
+	VectorsPerExecutor int
+	// VectorCapHint sizes preallocated vectors.
+	VectorCapHint int
+}
+
+// Scheduler coordinates executors over the shared queues.
+type Scheduler struct {
+	cfg    Config
+	shared *queueSet
+
+	mu           sync.Mutex
+	reservations map[string]*queueSet
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+// New starts a scheduler with the given configuration.
+func New(cfg Config) *Scheduler {
+	if cfg.Executors <= 0 {
+		cfg.Executors = 4
+	}
+	s := &Scheduler{
+		cfg:          cfg,
+		shared:       newQueueSet(),
+		reservations: make(map[string]*queueSet),
+	}
+	for i := 0; i < cfg.Executors; i++ {
+		s.wg.Add(1)
+		go s.executor(s.shared)
+	}
+	return s
+}
+
+// Reserve dedicates n executors (with their own queues and vector pools)
+// to one plan (§4.2.2 reservation-based scheduling). Parameters and
+// physical stages remain shared with the rest of the runtime.
+func (s *Scheduler) Reserve(planName string, n int) error {
+	if n <= 0 {
+		return fmt.Errorf("sched: reservation needs n > 0")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.reservations[planName]; dup {
+		return fmt.Errorf("sched: plan %q already reserved", planName)
+	}
+	qs := newQueueSet()
+	s.reservations[planName] = qs
+	for i := 0; i < n; i++ {
+		s.wg.Add(1)
+		go s.executor(qs)
+	}
+	return nil
+}
+
+// queuesFor routes a plan to its reservation queues or the shared pair.
+func (s *Scheduler) queuesFor(planName string) *queueSet {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if qs, ok := s.reservations[planName]; ok {
+		return qs
+	}
+	return s.shared
+}
+
+// Submit enqueues a job: its head stages (those depending only on the
+// request input) enter the low-priority queue.
+func (s *Scheduler) Submit(j *Job) {
+	qs := s.queuesFor(j.Plan.Name)
+	for _, i := range j.heads {
+		if !qs.push(event{job: j, stage: i}, false) {
+			j.fail(fmt.Errorf("sched: scheduler stopped"))
+			j.finish()
+			return
+		}
+	}
+}
+
+// Close stops all executors; in-flight jobs fail.
+func (s *Scheduler) Close() {
+	if !s.closed.CompareAndSwap(false, true) {
+		return
+	}
+	s.shared.close()
+	s.mu.Lock()
+	for _, qs := range s.reservations {
+		qs.close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// executor is the per-core worker loop with its own vector pool and
+// execution context (allocated per executor to improve locality, §4.2.1).
+func (s *Scheduler) executor(qs *queueSet) {
+	defer s.wg.Done()
+	var pool *vector.Pool
+	if s.cfg.DisableVectorPooling {
+		pool = vector.NewDisabledPool()
+	} else {
+		pool = vector.NewPool()
+		if s.cfg.VectorsPerExecutor > 0 {
+			pool.Preallocate(s.cfg.VectorsPerExecutor, s.cfg.VectorCapHint)
+		}
+	}
+	ec := &plan.Exec{Pool: pool}
+	for {
+		ev, ok := qs.pop()
+		if !ok {
+			return
+		}
+		s.exec(ev, ec, qs)
+	}
+}
+
+// exec runs one stage event — all records of the job through one stage —
+// then unblocks its consumers (even on failure, so skipped stages still
+// drain and the job completes). ec is the executor-owned context; the
+// per-record pushdown accumulator is handed off through the job for
+// accumulator-using stages (which the compiler only emits in linear
+// chains, so the handoff never races with a concurrent sibling stage).
+func (s *Scheduler) exec(ev event, ec *plan.Exec, qs *queueSet) {
+	j := ev.job
+	if !j.failed.Load() {
+		// Vectors are requested per pipeline, lazily, when the first
+		// stage executes: the job binds this executor's pool for returns.
+		j.poolOnce.Do(func() { j.retPool = ec.Pool })
+		ec.Cache = j.cache
+
+		st := j.Plan.Stages[ev.stage]
+		last := ev.stage == len(j.Plan.Stages)-1
+		nRec := len(j.Ins)
+		row := make([]*vector.Vector, nRec)
+		var insBuf [4]*vector.Vector
+		for r := 0; r < nRec && !j.failed.Load(); r++ {
+			ins := insBuf[:0]
+			for _, src := range st.Inputs {
+				if src == plan.InputID {
+					ins = append(ins, j.Ins[r])
+				} else {
+					ins = append(ins, j.outputs[src][r])
+				}
+			}
+			dst := j.Outs[r]
+			if !last {
+				dst = ec.Pool.Get(st.OutCap)
+			}
+			if st.UsesAcc {
+				ec.Acc = j.accs[r]
+			}
+			if err := plan.RunStage(st, ec, ins, dst); err != nil {
+				if !last {
+					ec.Pool.Put(dst)
+				}
+				j.fail(fmt.Errorf("sched: plan %s stage %d record %d: %w", j.Plan.Name, ev.stage, r, err))
+				break
+			}
+			if st.UsesAcc {
+				j.accs[r] = ec.Acc
+			}
+			row[r] = dst
+		}
+		j.outputs[ev.stage] = row
+	}
+	// Propagate readiness (also for skipped stages of failed jobs).
+	for k := ev.stage + 1; k < len(j.Plan.Stages); k++ {
+		consumes := false
+		for _, src := range j.Plan.Stages[k].Inputs {
+			if src == ev.stage {
+				consumes = true
+				break
+			}
+		}
+		if !consumes {
+			continue
+		}
+		if atomic.AddInt32(&j.pending[k], -1) == 0 {
+			if !qs.push(event{job: j, stage: k}, true) {
+				j.fail(fmt.Errorf("sched: scheduler stopped"))
+				// Fall through: completeStage below still drains.
+				j.completeStage()
+			}
+		}
+	}
+	j.completeStage()
+}
+
+// completeStage accounts one finished (or skipped) stage and finalizes
+// the job when all stages have drained: pooled vectors are returned for
+// the whole pipeline and the waiter is signalled.
+func (j *Job) completeStage() {
+	if j.left.Add(-1) != 0 {
+		return
+	}
+	if j.retPool != nil {
+		for i, row := range j.outputs {
+			for k, v := range row {
+				if v != nil && v != j.Outs[k] {
+					j.retPool.Put(v)
+				}
+			}
+			j.outputs[i] = nil
+		}
+	}
+	j.finish()
+}
+
+// finish delivers the job result exactly once.
+func (j *Job) finish() {
+	select {
+	case j.done <- j.err:
+	default:
+	}
+}

@@ -1,0 +1,313 @@
+// Package store implements the PRETZEL Object Store (§4.1.3): a
+// checksum-keyed registry that deduplicates operator parameters across
+// model plans, plus the LRU cache backing sub-plan materialization (§4.3).
+//
+// "The Object Store is populated off-line by the Model Plan Compiler:
+// when a Flour program is submitted for planning, new parameters are kept
+// in the Object Store, while parameters that already exist are ignored
+// and the stage information is rewritten to reuse the previously loaded
+// one. Parameters equality is computed by looking at the checksum of the
+// serialized version of the objects."
+package store
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"pretzel/internal/ops"
+	"pretzel/internal/vector"
+)
+
+// Key identifies a parameter object by dynamic type and content checksum.
+type Key struct {
+	Kind string
+	Sum  uint64
+}
+
+// entry is one interned parameter with its reference count.
+type entry struct {
+	val  ops.Param
+	refs int
+}
+
+// ObjectStore interns parameter objects.
+type ObjectStore struct {
+	mu     sync.Mutex
+	params map[Key]*entry
+
+	hits   uint64
+	misses uint64
+}
+
+// New returns an empty Object Store.
+func New() *ObjectStore {
+	return &ObjectStore{params: make(map[Key]*entry)}
+}
+
+// KeyOf computes the store key of a parameter.
+func KeyOf(p ops.Param) Key {
+	return Key{Kind: fmt.Sprintf("%T", p), Sum: p.Checksum()}
+}
+
+// Intern returns the canonical instance for p: if an equal parameter is
+// already stored that instance is returned (and p becomes garbage),
+// otherwise p itself is stored and returned. The reference count of the
+// canonical instance is incremented either way.
+func (s *ObjectStore) Intern(p ops.Param) ops.Param {
+	k := KeyOf(p)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.params[k]; ok {
+		e.refs++
+		s.hits++
+		return e.val
+	}
+	s.params[k] = &entry{val: p, refs: 1}
+	s.misses++
+	return p
+}
+
+// Release decrements the reference count of p's canonical instance,
+// removing it from the store when it drops to zero.
+func (s *ObjectStore) Release(p ops.Param) {
+	k := KeyOf(p)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.params[k]; ok {
+		e.refs--
+		if e.refs <= 0 {
+			delete(s.params, k)
+		}
+	}
+}
+
+// InternOp interns all parameters of an operator in place, rewiring the
+// operator to the canonical instances.
+func (s *ObjectStore) InternOp(op ops.Op) error {
+	ps := op.Params()
+	if len(ps) == 0 {
+		return nil
+	}
+	shared := make([]ops.Param, len(ps))
+	for i, p := range ps {
+		shared[i] = s.Intern(p)
+	}
+	return op.SetParams(shared)
+}
+
+// Count returns the number of unique parameters stored.
+func (s *ObjectStore) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.params)
+}
+
+// MemBytes sums the footprint of the unique stored parameters.
+func (s *ObjectStore) MemBytes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, e := range s.params {
+		n += e.val.MemBytes()
+	}
+	return n
+}
+
+// Stats is a snapshot of intern hit/miss counters.
+type Stats struct {
+	Hits, Misses uint64
+	Unique       int
+}
+
+// Stats returns a snapshot of the store counters.
+func (s *ObjectStore) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{Hits: s.hits, Misses: s.misses, Unique: len(s.params)}
+}
+
+// --- operator cache (load-time dedup) ---
+
+// opKey identifies a serialized operator by kind and raw-bytes hash.
+type opKey struct {
+	kind string
+	sum  uint64
+}
+
+// OpCache deduplicates whole operator instances by the checksum of their
+// serialized form, so importing the 2nd..Nth pipeline that contains an
+// already-loaded operator skips deserialization entirely. This is the
+// §4.1.3 mechanism behind PRETZEL's fast load times ("parameters equality
+// is computed by looking at the checksum of the serialized version of the
+// objects"; §5.1: "keeping track of pipelines' parameters also helps
+// reducing the time to load models").
+type OpCache struct {
+	mu sync.Mutex
+	m  map[opKey]ops.Op
+
+	hits, misses uint64
+}
+
+// NewOpCache returns an empty operator cache.
+func NewOpCache() *OpCache { return &OpCache{m: make(map[opKey]ops.Op)} }
+
+// HashRaw hashes serialized operator bytes (FNV-1a).
+func HashRaw(b []byte) uint64 {
+	var h uint64 = 0xcbf29ce484222325
+	for _, c := range b {
+		h = (h ^ uint64(c)) * 0x100000001b3
+	}
+	return h
+}
+
+// GetOrBuild returns the cached operator for (kind, raw hash), building
+// and caching it with build on first sight. Cached operators are shared
+// instances: they are safe for concurrent Transform calls, and plans
+// sharing them share their parameters implicitly.
+func (c *OpCache) GetOrBuild(kind string, sum uint64, build func() (ops.Op, error)) (ops.Op, error) {
+	k := opKey{kind, sum}
+	c.mu.Lock()
+	if op, ok := c.m[k]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return op, nil
+	}
+	c.mu.Unlock()
+	op, err := build()
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prior, ok := c.m[k]; ok { // racing build: keep the first
+		c.hits++
+		return prior, nil
+	}
+	c.m[k] = op
+	c.misses++
+	return op, nil
+}
+
+// OpCacheStats is a snapshot of cache counters.
+type OpCacheStats struct {
+	Hits, Misses uint64
+	Unique       int
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *OpCache) Stats() OpCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return OpCacheStats{Hits: c.hits, Misses: c.misses, Unique: len(c.m)}
+}
+
+// --- sub-plan materialization cache ---
+
+// matKey identifies a cached stage result: the stage identity and the
+// hash of the stage input.
+type matKey struct {
+	Stage uint64
+	Input uint64
+}
+
+// matEntry is one cached result.
+type matEntry struct {
+	key   matKey
+	val   *vector.Vector
+	bytes int
+}
+
+// MatCache is the LRU cache for sub-plan materialization (§4.3): results
+// of physical stages shared by many model plans, keyed by input hash,
+// evicted least-recently-used when the byte budget is exceeded.
+type MatCache struct {
+	mu       sync.Mutex
+	capBytes int
+	curBytes int
+	lru      *list.List // of *matEntry, front = most recent
+	index    map[matKey]*list.Element
+
+	hits, misses uint64
+}
+
+// NewMatCache builds a cache with the given byte budget.
+func NewMatCache(capBytes int) *MatCache {
+	return &MatCache{capBytes: capBytes, lru: list.New(), index: make(map[matKey]*list.Element)}
+}
+
+// Get returns the cached output of (stage, inputHash), if present. The
+// returned vector is owned by the cache: callers must copy it, not hold
+// it.
+func (c *MatCache) Get(stage, inputHash uint64) (*vector.Vector, bool) {
+	k := matKey{stage, inputHash}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.index[k]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.hits++
+	return el.Value.(*matEntry).val, true
+}
+
+// Put stores a copy of v as the output of (stage, inputHash), evicting
+// LRU entries to stay within budget. Values larger than the whole budget
+// are not cached.
+func (c *MatCache) Put(stage, inputHash uint64, v *vector.Vector) {
+	cp := v.Clone()
+	sz := cp.MemBytes() + 64
+	if sz > c.capBytes {
+		return
+	}
+	k := matKey{stage, inputHash}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, dup := c.index[k]; dup {
+		c.lru.MoveToFront(el)
+		return
+	}
+	for c.curBytes+sz > c.capBytes {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*matEntry)
+		c.lru.Remove(back)
+		delete(c.index, e.key)
+		c.curBytes -= e.bytes
+	}
+	e := &matEntry{key: k, val: cp, bytes: sz}
+	c.index[k] = c.lru.PushFront(e)
+	c.curBytes += sz
+}
+
+// Len returns the number of cached results.
+func (c *MatCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Bytes returns the current cache footprint.
+func (c *MatCache) Bytes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.curBytes
+}
+
+// CacheStats is a snapshot of the materialization cache counters.
+type CacheStats struct {
+	Hits, Misses uint64
+	Entries      int
+	Bytes        int
+}
+
+// Stats returns a snapshot of cache counters.
+func (c *MatCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: c.lru.Len(), Bytes: c.curBytes}
+}

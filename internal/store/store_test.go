@@ -1,0 +1,228 @@
+package store
+
+import (
+	"sync"
+	"testing"
+
+	"pretzel/internal/ops"
+	"pretzel/internal/text"
+	"pretzel/internal/vector"
+)
+
+func dict(terms ...string) *text.Dict {
+	d := text.NewDict()
+	for _, t := range terms {
+		d.Add(t)
+	}
+	return d
+}
+
+func TestInternDedups(t *testing.T) {
+	s := New()
+	a := dict("x", "y")
+	b := dict("x", "y") // equal content, different instance
+	ca := s.Intern(a)
+	cb := s.Intern(b)
+	if ca != cb {
+		t.Fatal("equal params must intern to one instance")
+	}
+	if s.Count() != 1 {
+		t.Fatalf("count=%d", s.Count())
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats=%+v", st)
+	}
+	c := dict("z")
+	s.Intern(c)
+	if s.Count() != 2 {
+		t.Fatal("different params must both be stored")
+	}
+}
+
+func TestInternTypeDiscrimination(t *testing.T) {
+	s := New()
+	f1 := &ops.Floats{V: []float32{1}}
+	d1 := dict() // empty dict
+	s.Intern(f1)
+	s.Intern(d1)
+	if s.Count() != 2 {
+		t.Fatal("different types must never collide, even with equal checksums")
+	}
+}
+
+func TestRelease(t *testing.T) {
+	s := New()
+	a := dict("x")
+	s.Intern(a)
+	s.Intern(dict("x")) // refs = 2
+	s.Release(a)
+	if s.Count() != 1 {
+		t.Fatal("release below refcount must keep entry")
+	}
+	s.Release(a)
+	if s.Count() != 0 {
+		t.Fatal("final release must remove entry")
+	}
+	s.Release(a) // double release: no panic
+}
+
+func TestInternOp(t *testing.T) {
+	s := New()
+	shared := dict("ab", "bc")
+	op1 := &ops.CharNgram{MinN: 2, MaxN: 2, Dict: shared}
+	op2 := &ops.CharNgram{MinN: 2, MaxN: 2, Dict: dict("ab", "bc")}
+	if err := s.InternOp(op1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.InternOp(op2); err != nil {
+		t.Fatal(err)
+	}
+	if op2.Dict != shared {
+		t.Fatal("InternOp must rewire to the canonical dict")
+	}
+	if s.MemBytes() <= 0 {
+		t.Fatal("membytes")
+	}
+	// Ops without params are a no-op.
+	if err := s.InternOp(&ops.Tokenizer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInternConcurrent(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s.Intern(dict("a", "b", "c"))
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Count() != 1 {
+		t.Fatalf("count=%d after concurrent intern of equal dicts", s.Count())
+	}
+}
+
+func sparse(dim int, pairs ...float32) *vector.Vector {
+	v := vector.New(0)
+	v.UseSparse(dim)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		v.AppendSparse(int32(pairs[i]), pairs[i+1])
+	}
+	return v
+}
+
+func TestMatCacheBasics(t *testing.T) {
+	c := NewMatCache(1 << 20)
+	if _, ok := c.Get(1, 2); ok {
+		t.Fatal("empty cache hit")
+	}
+	v := sparse(10, 1, 5)
+	c.Put(1, 2, v)
+	got, ok := c.Get(1, 2)
+	if !ok || !got.Equal(v) {
+		t.Fatal("cached value mismatch")
+	}
+	// The cache must hold a copy, not alias.
+	v.Val[0] = 99
+	got2, _ := c.Get(1, 2)
+	if got2.Val[0] == 99 {
+		t.Fatal("cache aliased the caller's vector")
+	}
+	// Same stage, different input -> miss.
+	if _, ok := c.Get(1, 3); ok {
+		t.Fatal("wrong-input hit")
+	}
+	// Different stage, same input -> miss.
+	if _, ok := c.Get(9, 2); ok {
+		t.Fatal("wrong-stage hit")
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Entries != 1 || st.Bytes <= 0 {
+		t.Fatalf("stats=%+v", st)
+	}
+}
+
+func TestMatCacheLRUEviction(t *testing.T) {
+	// Budget fits ~2 entries of this size.
+	v := sparse(10, 1, 1)
+	entrySize := v.Clone().MemBytes() + 64
+	c := NewMatCache(entrySize*2 + entrySize/2)
+	c.Put(1, 1, v)
+	c.Put(2, 2, v)
+	// Touch (1,1) so (2,2) is LRU.
+	c.Get(1, 1)
+	c.Put(3, 3, v)
+	if _, ok := c.Get(2, 2); ok {
+		t.Fatal("LRU entry should have been evicted")
+	}
+	if _, ok := c.Get(1, 1); !ok {
+		t.Fatal("recently used entry should survive")
+	}
+	if _, ok := c.Get(3, 3); !ok {
+		t.Fatal("new entry should be present")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len=%d", c.Len())
+	}
+}
+
+func TestMatCacheOversized(t *testing.T) {
+	c := NewMatCache(128)
+	big := vector.New(1 << 12)
+	big.UseDense(1 << 12)
+	c.Put(1, 1, big)
+	if c.Len() != 0 {
+		t.Fatal("oversized value must not be cached")
+	}
+}
+
+func TestMatCacheDuplicatePut(t *testing.T) {
+	c := NewMatCache(1 << 20)
+	v := sparse(4, 0, 1)
+	c.Put(1, 1, v)
+	c.Put(1, 1, v)
+	if c.Len() != 1 {
+		t.Fatal("duplicate put must not duplicate entries")
+	}
+	if c.Bytes() <= 0 {
+		t.Fatal("bytes")
+	}
+}
+
+func TestMatCacheConcurrent(t *testing.T) {
+	c := NewMatCache(1 << 20)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			v := sparse(8, float32(id%4), 1)
+			for i := 0; i < 200; i++ {
+				c.Put(uint64(id%4), 7, v)
+				c.Get(uint64(id%4), 7)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() == 0 || c.Len() > 4 {
+		t.Fatalf("len=%d", c.Len())
+	}
+}
+
+func TestKeyOf(t *testing.T) {
+	a := KeyOf(dict("q"))
+	b := KeyOf(dict("q"))
+	if a != b {
+		t.Fatal("equal params must share key")
+	}
+	c := KeyOf(&ops.Floats{V: []float32{}})
+	if a.Kind == c.Kind {
+		t.Fatal("kinds must differ across types")
+	}
+}

@@ -1,0 +1,148 @@
+package vector
+
+import "sync"
+
+// Pool is a size-classed free list of vectors. The runtime allocates one
+// Pool per Executor to improve locality (§4.2.1): an executor acquires the
+// vectors for a whole pipeline execution up front (lazily, when the first
+// stage of the pipeline is scheduled) and returns them when the pipeline
+// finishes, so the prediction path itself never allocates.
+//
+// Pool is safe for concurrent use: vectors are requested per pipeline and
+// a pipeline's later stages may run on a different executor than the one
+// owning the pool the vectors came from.
+type Pool struct {
+	mu      sync.Mutex
+	classes [nClasses][]*Vector
+
+	// Stats (guarded by mu). Used by the vector-pooling ablation.
+	gets   uint64
+	hits   uint64
+	allocs uint64
+	puts   uint64
+
+	disabled bool // when true, Get always allocates (ablation mode)
+}
+
+// nClasses size classes: capacities 1<<6 .. 1<<(6+nClasses-1).
+const (
+	nClasses  = 16
+	minShift  = 6
+	maxVecCap = 1 << (minShift + nClasses - 1)
+)
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{} }
+
+// NewDisabledPool returns a pool that never reuses vectors. It implements
+// the "vector pooling off" ablation of §5.2.1.
+func NewDisabledPool() *Pool { return &Pool{disabled: true} }
+
+// classFor returns the size class whose vectors have dense capacity >= n,
+// or -1 when n exceeds the largest class.
+func classFor(n int) int {
+	c := 0
+	size := 1 << minShift
+	for size < n {
+		size <<= 1
+		c++
+	}
+	if c >= nClasses {
+		return -1
+	}
+	return c
+}
+
+// Get returns a vector whose dense buffer has capacity at least capHint.
+// The vector is reset and ready for use.
+func (p *Pool) Get(capHint int) *Vector {
+	if capHint < 0 {
+		capHint = 0
+	}
+	p.mu.Lock()
+	p.gets++
+	if p.disabled {
+		p.allocs++
+		p.mu.Unlock()
+		return New(capHint)
+	}
+	c := classFor(capHint)
+	if c >= 0 {
+		// Search upward from the requested class: a bigger vector works.
+		for cc := c; cc < nClasses; cc++ {
+			if n := len(p.classes[cc]); n > 0 {
+				v := p.classes[cc][n-1]
+				p.classes[cc][n-1] = nil
+				p.classes[cc] = p.classes[cc][:n-1]
+				p.hits++
+				p.mu.Unlock()
+				v.Reset()
+				return v
+			}
+		}
+	}
+	p.allocs++
+	p.mu.Unlock()
+	if c >= 0 {
+		capHint = 1 << (minShift + c)
+	}
+	return New(capHint)
+}
+
+// Put returns a vector to the pool. Oversized or disabled-pool vectors are
+// dropped for the GC.
+func (p *Pool) Put(v *Vector) {
+	if v == nil {
+		return
+	}
+	c := classFor(cap(v.Dense))
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.puts++
+	if p.disabled || c < 0 {
+		return
+	}
+	// Classes store vectors with capacity >= class size; cap(v.Dense) may be
+	// less than the class size if the vector was allocated raw, so round
+	// down to the class it can actually serve.
+	for c > 0 && cap(v.Dense) < 1<<(minShift+c) {
+		c--
+	}
+	if len(p.classes[c]) < 1024 {
+		v.Reset()
+		p.classes[c] = append(p.classes[c], v)
+	}
+}
+
+// PoolStats is a snapshot of pool counters.
+type PoolStats struct {
+	Gets, Hits, Allocs, Puts uint64
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PoolStats{Gets: p.gets, Hits: p.hits, Allocs: p.allocs, Puts: p.puts}
+}
+
+// Preallocate fills the pool with n vectors of capacity capHint each, so
+// that steady-state serving never allocates (§4.2.1 "overheads for
+// instantiating memory ... are paid upfront at initialization time").
+func (p *Pool) Preallocate(n, capHint int) {
+	c := classFor(capHint)
+	if c < 0 {
+		return
+	}
+	vs := make([]*Vector, 0, n)
+	for i := 0; i < n; i++ {
+		vs = append(vs, New(1<<(minShift+c)))
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, v := range vs {
+		if len(p.classes[c]) < 1024 {
+			p.classes[c] = append(p.classes[c], v)
+		}
+	}
+}

@@ -1,0 +1,303 @@
+// Package workload generates the 500 production-like pipelines the
+// paper's evaluation runs on (Table 1): 250 Sentiment Analysis (SA)
+// pipelines reproducing the operator-sharing profile of Fig. 3, and 250
+// Attendee Count (AC) ensemble pipelines with diverse parameters. It also
+// provides the Zipf(α=2) load generator of §5.4.
+//
+// The SA sharing profile (Fig. 3): Tokenize and Concat identical in all
+// 250 pipelines; CharNgram has 7 trained versions used by
+// (46,7,9,9,85,86,8) pipelines; WordNgram has 6 versions used by
+// (85,8,18,7,86,46) pipelines; the linear model is unique per pipeline
+// (produced here by fine-tuning a shared base model per featurizer combo,
+// mirroring how production pipelines are "produced by fine tuning
+// pre-existing or default pipelines").
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pretzel/internal/dataset"
+	"pretzel/internal/ml"
+	"pretzel/internal/ops"
+	"pretzel/internal/pipeline"
+	"pretzel/internal/schema"
+	"pretzel/internal/text"
+)
+
+// Scale sizes the generated workload. Tests use SmallScale; the
+// benchmark harness uses BenchScale.
+type Scale struct {
+	SACount      int
+	ACCount      int
+	CorpusVocab  int
+	CorpusDocs   int // documents used to build dictionaries + training
+	TrainDocs    int // documents used for SGD fine-tuning
+	CharBudget   int // entry budget of the largest char-dict version
+	WordBudget   int // entry budget of the largest word-dict version
+	ACDim        int
+	ACTrainRows  int
+	ReviewLength int
+	Seed         int64
+}
+
+// SmallScale is a fast configuration for unit tests.
+func SmallScale() Scale {
+	return Scale{
+		SACount: 16, ACCount: 8,
+		CorpusVocab: 400, CorpusDocs: 150, TrainDocs: 100,
+		CharBudget: 800, WordBudget: 400,
+		ACDim: 10, ACTrainRows: 120, ReviewLength: 20,
+		Seed: 42,
+	}
+}
+
+// BenchScale is the evaluation configuration: 250+250 pipelines with
+// dictionaries large enough to reproduce the paper's memory behaviour at
+// laptop scale (the paper's char dictionaries are 59–83MB; ours are
+// proportionally smaller, the sharing *structure* is identical).
+func BenchScale() Scale {
+	return Scale{
+		SACount: 250, ACCount: 250,
+		CorpusVocab: 8000, CorpusDocs: 2500, TrainDocs: 600,
+		CharBudget: 60000, WordBudget: 40000,
+		ACDim: 40, ACTrainRows: 400, ReviewLength: 40,
+		Seed: 2018,
+	}
+}
+
+// charVersionSpec is one trained CharNgram parameterization.
+type charVersionSpec struct {
+	minN, maxN int
+	budgetFrac float64
+	count      int // pipelines using it (Fig. 3)
+}
+
+// wordVersionSpec is one trained WordNgram parameterization.
+type wordVersionSpec struct {
+	maxN       int
+	budgetFrac float64
+	count      int
+}
+
+// The Fig. 3 profile. Char versions are all large (59–83MB in the
+// paper); word versions 2–4 are tiny (374 bytes) while 1, 5, 6 are
+// hundreds of KB.
+var charVersions = []charVersionSpec{
+	{minN: 2, maxN: 3, budgetFrac: 1.00, count: 46},
+	{minN: 2, maxN: 4, budgetFrac: 0.75, count: 7},
+	{minN: 3, maxN: 4, budgetFrac: 0.75, count: 9},
+	{minN: 2, maxN: 3, budgetFrac: 0.75, count: 9},
+	{minN: 2, maxN: 5, budgetFrac: 0.75, count: 85},
+	{minN: 3, maxN: 5, budgetFrac: 0.75, count: 86},
+	{minN: 2, maxN: 4, budgetFrac: 0.60, count: 8},
+}
+
+var wordVersions = []wordVersionSpec{
+	{maxN: 2, budgetFrac: 0.90, count: 85},
+	{maxN: 1, budgetFrac: 0.001, count: 8},
+	{maxN: 1, budgetFrac: 0.001, count: 18},
+	{maxN: 2, budgetFrac: 0.001, count: 7},
+	{maxN: 2, budgetFrac: 0.91, count: 86},
+	{maxN: 3, budgetFrac: 1.00, count: 46},
+}
+
+// SAPipelineInfo records the version assignment of one SA pipeline.
+type SAPipelineInfo struct {
+	CharVersion int
+	WordVersion int
+}
+
+// SASet is the generated Sentiment Analysis workload.
+type SASet struct {
+	Pipelines []*pipeline.Pipeline
+	Info      []SAPipelineInfo
+	CharDicts []*text.Dict
+	WordDicts []*text.Dict
+	// TestInputs are held-out review texts for issuing predictions.
+	TestInputs []string
+	TestLabels []float32
+}
+
+// BuildSA generates the SA workload at the given scale.
+func BuildSA(sc Scale) (*SASet, error) {
+	if sc.SACount <= 0 {
+		return nil, fmt.Errorf("workload: SACount must be > 0")
+	}
+	corpus := dataset.NewReviewCorpus(sc.CorpusVocab, sc.Seed)
+	docs := corpus.Generate(sc.CorpusDocs, sc.ReviewLength)
+	test := corpus.Generate(200, sc.ReviewLength)
+
+	// Tokenize the corpus once.
+	tokenized := make([][]string, len(docs))
+	for i, d := range docs {
+		tokenized[i] = text.Tokenize(d.Text, nil)
+	}
+
+	// Build the 7 char and 6 word dictionary versions from the corpus.
+	set := &SASet{}
+	for _, cv := range charVersions {
+		b := text.NewDictBuilder()
+		for _, toks := range tokenized {
+			for _, tok := range toks {
+				text.ObserveCharNgrams(b, []byte(tok), cv.minN, cv.maxN)
+			}
+		}
+		budget := int(float64(sc.CharBudget) * cv.budgetFrac)
+		if budget < 8 {
+			budget = 8
+		}
+		set.CharDicts = append(set.CharDicts, b.Build(budget))
+	}
+	for _, wv := range wordVersions {
+		b := text.NewDictBuilder()
+		var scratch []byte
+		for _, toks := range tokenized {
+			scratch = text.ObserveWordNgrams(b, toks, wv.maxN, scratch)
+		}
+		budget := int(float64(sc.WordBudget) * wv.budgetFrac)
+		if budget < 8 {
+			budget = 8
+		}
+		set.WordDicts = append(set.WordDicts, b.Build(budget))
+	}
+
+	// Pre-featurize training docs per version (so per-combo training is a
+	// cheap sparse SGD over precomputed features).
+	nTrain := sc.TrainDocs
+	if nTrain > len(docs) {
+		nTrain = len(docs)
+	}
+	charFeats := make([][][]int32, len(charVersions))
+	for v, d := range set.CharDicts {
+		cfg := text.CharNgramConfig{MinN: charVersions[v].minN, MaxN: charVersions[v].maxN, Dict: d}
+		charFeats[v] = make([][]int32, nTrain)
+		for i := 0; i < nTrain; i++ {
+			var ixs []int32
+			cfg.ExtractTokens(tokenized[i], func(ix int32) { ixs = append(ixs, ix) })
+			charFeats[v][i] = ixs
+		}
+	}
+	wordFeats := make([][][]int32, len(wordVersions))
+	for v, d := range set.WordDicts {
+		cfg := text.WordNgramConfig{MaxN: wordVersions[v].maxN, Dict: d}
+		wordFeats[v] = make([][]int32, nTrain)
+		var scratch []byte
+		for i := 0; i < nTrain; i++ {
+			var ixs []int32
+			scratch = cfg.ExtractTokens(tokenized[i], scratch, func(ix int32) { ixs = append(ixs, ix) })
+			wordFeats[v][i] = ixs
+		}
+	}
+
+	// Version assignment per the Fig. 3 frequency profile, shuffled
+	// deterministically so char/word combos mix.
+	charAssign := expandCounts(charVersions, sc.SACount, func(c charVersionSpec) int { return c.count })
+	wordAssign := expandCounts(wordVersions, sc.SACount, func(w wordVersionSpec) int { return w.count })
+	rng := rand.New(rand.NewSource(sc.Seed + 99))
+	rng.Shuffle(len(wordAssign), func(i, j int) { wordAssign[i], wordAssign[j] = wordAssign[j], wordAssign[i] })
+
+	// Train one base model per (char, word) combo, lazily.
+	type combo struct{ c, w int }
+	bases := map[combo]*ml.LinearModel{}
+	baseFor := func(cv, wv int) (*ml.LinearModel, error) {
+		k := combo{cv, wv}
+		if m, ok := bases[k]; ok {
+			return m, nil
+		}
+		charDim := set.CharDicts[cv].Size()
+		dim := charDim + set.WordDicts[wv].Size()
+		samples := make([]ml.Sample, nTrain)
+		for i := 0; i < nTrain; i++ {
+			var idx []int32
+			var val []float32
+			for _, ix := range charFeats[cv][i] {
+				idx = append(idx, ix)
+				val = append(val, 1)
+			}
+			for _, ix := range wordFeats[wv][i] {
+				idx = append(idx, int32(charDim)+ix)
+				val = append(val, 1)
+			}
+			samples[i] = ml.Sample{Idx: idx, Val: val, Label: docs[i].Label}
+		}
+		m, err := ml.TrainLinear(samples, ml.LinearOptions{
+			Kind: ml.LogisticRegression, Dim: dim, Epochs: 3, LearnRate: 0.2, Seed: sc.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		bases[k] = m
+		return m, nil
+	}
+
+	// Assemble the pipelines: shared Tokenizer/Concat structure, shared
+	// dictionaries per version, per-pipeline fine-tuned weights.
+	for i := 0; i < sc.SACount; i++ {
+		cv, wv := charAssign[i], wordAssign[i]
+		cd, wd := set.CharDicts[cv], set.WordDicts[wv]
+		base, err := baseFor(cv, wv)
+		if err != nil {
+			return nil, err
+		}
+		// Fine-tune: perturb the base weights deterministically per
+		// pipeline (unique model objects, like Fig. 3's unique LRs).
+		prng := rand.New(rand.NewSource(sc.Seed + int64(i)*7919))
+		weights := make([]float32, len(base.Weights))
+		copy(weights, base.Weights)
+		for k := 0; k < len(weights)/20+1; k++ {
+			weights[prng.Intn(len(weights))] += float32(prng.NormFloat64()) * 0.01
+		}
+		model := &ml.LinearModel{Kind: ml.LogisticRegression, Weights: weights, Bias: base.Bias}
+		p := &pipeline.Pipeline{
+			Name:        fmt.Sprintf("sa-%03d", i),
+			InputSchema: schema.Text("Text"),
+			Stats: pipeline.Stats{
+				MaxVectorSize: cd.Size() + wd.Size(),
+				AvgTokens:     float64(sc.ReviewLength),
+				SparseOutput:  true,
+			},
+			Nodes: []pipeline.Node{
+				{Op: &ops.Tokenizer{}, Inputs: []int{pipeline.InputID}},
+				{Op: &ops.CharNgram{MinN: charVersions[cv].minN, MaxN: charVersions[cv].maxN, Dict: cd}, Inputs: []int{0}},
+				{Op: &ops.WordNgram{MaxN: wordVersions[wv].maxN, Dict: wd}, Inputs: []int{0}},
+				{Op: &ops.Concat{Dims: []int{cd.Size(), wd.Size()}}, Inputs: []int{1, 2}},
+				{Op: &ops.LinearPredictor{Model: model}, Inputs: []int{3}},
+			},
+		}
+		set.Pipelines = append(set.Pipelines, p)
+		set.Info = append(set.Info, SAPipelineInfo{CharVersion: cv, WordVersion: wv})
+	}
+	for _, r := range test {
+		set.TestInputs = append(set.TestInputs, r.Text)
+		set.TestLabels = append(set.TestLabels, r.Label)
+	}
+	return set, nil
+}
+
+// expandCounts maps the per-version counts onto n pipelines,
+// proportionally rescaling when n != the profile total (250).
+func expandCounts[T any](versions []T, n int, count func(T) int) []int {
+	total := 0
+	for _, v := range versions {
+		total += count(v)
+	}
+	out := make([]int, 0, n)
+	for vi, v := range versions {
+		k := count(v) * n / total
+		for j := 0; j < k; j++ {
+			out = append(out, vi)
+		}
+	}
+	// Round-off: pad with the most frequent version.
+	best, bi := -1, 0
+	for vi, v := range versions {
+		if count(v) > best {
+			best, bi = count(v), vi
+		}
+	}
+	for len(out) < n {
+		out = append(out, bi)
+	}
+	return out[:n]
+}

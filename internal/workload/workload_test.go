@@ -1,0 +1,275 @@
+package workload
+
+import (
+	"testing"
+
+	"pretzel/internal/oven"
+	"pretzel/internal/plan"
+	"pretzel/internal/store"
+	"pretzel/internal/vector"
+)
+
+func TestBuildSASmall(t *testing.T) {
+	sc := SmallScale()
+	set, err := BuildSA(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Pipelines) != sc.SACount || len(set.Info) != sc.SACount {
+		t.Fatalf("pipelines=%d", len(set.Pipelines))
+	}
+	if len(set.CharDicts) != 7 || len(set.WordDicts) != 6 {
+		t.Fatalf("dict versions: %d char, %d word", len(set.CharDicts), len(set.WordDicts))
+	}
+	// Every pipeline validates and predicts.
+	in, out := vector.New(0), vector.New(0)
+	for _, p := range set.Pipelines {
+		if _, err := p.Validate(); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		in.SetText(set.TestInputs[0])
+		if err := p.Run(in, out, nil); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if out.Dense[0] < 0 || out.Dense[0] > 1 {
+			t.Fatalf("%s: probability %v", p.Name, out.Dense[0])
+		}
+	}
+}
+
+func TestSASharingProfile(t *testing.T) {
+	set, err := BuildSA(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dictionaries are shared instances: pipelines with the same version
+	// must point at the same dict object.
+	byCharVersion := map[int]int{}
+	for i, info := range set.Info {
+		byCharVersion[info.CharVersion]++
+		p := set.Pipelines[i]
+		if p.Nodes[1].Op.Params()[0] != any(set.CharDicts[info.CharVersion]) {
+			t.Fatalf("pipeline %d char dict not the shared instance", i)
+		}
+		if p.Nodes[2].Op.Params()[0] != any(set.WordDicts[info.WordVersion]) {
+			t.Fatalf("pipeline %d word dict not the shared instance", i)
+		}
+	}
+	// The most frequent char versions (5 and 6 in Fig 3 order: 85, 86
+	// pipelines of 250) must dominate the assignment.
+	if byCharVersion[4] == 0 || byCharVersion[5] == 0 {
+		t.Fatalf("frequent versions unused: %v", byCharVersion)
+	}
+	if byCharVersion[4] < byCharVersion[1] || byCharVersion[5] < byCharVersion[3] {
+		t.Fatalf("frequency profile not respected: %v", byCharVersion)
+	}
+	// Linear models must be unique objects per pipeline.
+	seen := map[any]bool{}
+	for i, p := range set.Pipelines {
+		m := p.Nodes[4].Op.Params()[0]
+		if seen[m] {
+			t.Fatalf("pipeline %d shares its linear model", i)
+		}
+		seen[m] = true
+	}
+}
+
+func TestSAPredictionQuality(t *testing.T) {
+	set, err := BuildSA(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fine-tuned models should beat coin flipping on held-out data.
+	p := set.Pipelines[0]
+	in, out := vector.New(0), vector.New(0)
+	correct, total := 0, 0
+	for i, s := range set.TestInputs {
+		in.SetText(s)
+		if err := p.Run(in, out, nil); err != nil {
+			t.Fatal(err)
+		}
+		pred := float32(0)
+		if out.Dense[0] > 0.5 {
+			pred = 1
+		}
+		if pred == set.TestLabels[i] {
+			correct++
+		}
+		total++
+	}
+	if acc := float64(correct) / float64(total); acc < 0.6 {
+		t.Fatalf("SA accuracy %.3f < 0.6", acc)
+	}
+}
+
+func TestSACompilesThroughOven(t *testing.T) {
+	set, err := BuildSA(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	objStore := store.New()
+	for _, p := range set.Pipelines[:4] {
+		pl, err := oven.Compile(p, objStore, oven.DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if len(pl.Stages) != 2 {
+			t.Fatalf("%s: stages=%d", p.Name, len(pl.Stages))
+		}
+		// Compiled plan agrees with the reference pipeline.
+		ec := &plan.Exec{Pool: vector.NewPool()}
+		in, got, want := vector.New(0), vector.New(0), vector.New(0)
+		in.SetText(set.TestInputs[1])
+		if err := plan.RunPlan(pl, ec, in, got); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Run(in, want, nil); err != nil {
+			t.Fatal(err)
+		}
+		if d := got.Dense[0] - want.Dense[0]; d > 1e-5 || d < -1e-5 {
+			t.Fatalf("%s: %v vs %v", p.Name, got.Dense[0], want.Dense[0])
+		}
+	}
+}
+
+func TestBuildACSmall(t *testing.T) {
+	sc := SmallScale()
+	set, err := BuildAC(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Pipelines) != sc.ACCount {
+		t.Fatalf("pipelines=%d", len(set.Pipelines))
+	}
+	// All four structural variants appear and predict.
+	sizes := map[int]bool{}
+	in, out := vector.New(0), vector.New(0)
+	for _, p := range set.Pipelines {
+		sizes[len(p.Nodes)] = true
+		in.SetText(set.TestInputs[0])
+		if err := p.Run(in, out, nil); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+	}
+	if len(sizes) < 4 {
+		t.Fatalf("expected 4 structural variants, got node counts %v", sizes)
+	}
+}
+
+func TestACCompilesThroughOven(t *testing.T) {
+	set, err := BuildAC(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	objStore := store.New()
+	for _, p := range set.Pipelines[:4] {
+		pl, err := oven.Compile(p, objStore, oven.DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		ec := &plan.Exec{Pool: vector.NewPool()}
+		in, got, want := vector.New(0), vector.New(0), vector.New(0)
+		in.SetText(set.TestInputs[2])
+		if err := plan.RunPlan(pl, ec, in, got); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if err := p.Run(in, want, nil); err != nil {
+			t.Fatal(err)
+		}
+		if d := got.Dense[0] - want.Dense[0]; d > 1e-3 || d < -1e-3 {
+			t.Fatalf("%s: %v vs %v", p.Name, got.Dense[0], want.Dense[0])
+		}
+	}
+}
+
+func TestACPredictionsVary(t *testing.T) {
+	set, err := BuildAC(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := set.Pipelines[3] // most complex variant
+	in, out := vector.New(0), vector.New(0)
+	var lo, hi float32
+	for i, s := range set.TestInputs[:50] {
+		in.SetText(s)
+		if err := p.Run(in, out, nil); err != nil {
+			t.Fatal(err)
+		}
+		v := out.Dense[0]
+		if i == 0 {
+			lo, hi = v, v
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi-lo < 1 {
+		t.Fatalf("AC predictions nearly constant: [%v, %v]", lo, hi)
+	}
+}
+
+func TestFormatRecord(t *testing.T) {
+	s := FormatRecord([]float32{1.5, -2, 0})
+	if s != "1.5000,-2.0000,0.0000" {
+		t.Fatalf("got %q", s)
+	}
+}
+
+func TestZipfPicker(t *testing.T) {
+	z := NewZipfPicker(100, 2, 7)
+	counts := make([]int, 100)
+	for i := 0; i < 10000; i++ {
+		ix := z.Pick()
+		if ix < 0 || ix >= 100 {
+			t.Fatalf("index %d out of range", ix)
+		}
+		counts[ix]++
+	}
+	// Skew: the most popular model should take a large share.
+	max, nonzero := 0, 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+		if c > 0 {
+			nonzero++
+		}
+	}
+	if max < 4000 {
+		t.Fatalf("Zipf(2) head should dominate: max=%d", max)
+	}
+	if nonzero < 3 {
+		t.Fatalf("tail should still receive traffic: %d models hit", nonzero)
+	}
+	// Determinism.
+	z2 := NewZipfPicker(100, 2, 7)
+	z3 := NewZipfPicker(100, 2, 7)
+	for i := 0; i < 100; i++ {
+		if z2.Pick() != z3.Pick() {
+			t.Fatal("same seed must give same sequence")
+		}
+	}
+	// Degenerate inputs clamp.
+	z4 := NewZipfPicker(0, 0.5, 1)
+	if z4.Pick() != 0 {
+		t.Fatal("single-model picker")
+	}
+}
+
+func TestExpandCounts(t *testing.T) {
+	vs := []int{10, 30, 60}
+	out := expandCounts(vs, 10, func(v int) int { return v })
+	if len(out) != 10 {
+		t.Fatalf("len=%d", len(out))
+	}
+	counts := map[int]int{}
+	for _, v := range out {
+		counts[v]++
+	}
+	if counts[2] < counts[0] || counts[2] < counts[1] {
+		t.Fatalf("proportions off: %v", counts)
+	}
+}

@@ -1,0 +1,37 @@
+package workload
+
+import "math/rand"
+
+// ZipfPicker selects model indices with a Zipf(α) popularity distribution
+// over a deterministic permutation of the models, reproducing the skewed
+// load of §5.4 ("we submit requests to models by following the Zipf
+// distribution (α = 2)"; "a small amount of popular models are scored
+// more frequently than others").
+type ZipfPicker struct {
+	zipf *rand.Zipf
+	perm []int
+	rng  *rand.Rand
+}
+
+// NewZipfPicker builds a picker over n models. alpha must be > 1 (the
+// paper uses 2).
+func NewZipfPicker(n int, alpha float64, seed int64) *ZipfPicker {
+	if n < 1 {
+		n = 1
+	}
+	if alpha <= 1 {
+		alpha = 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &ZipfPicker{
+		zipf: rand.NewZipf(rng, alpha, 1, uint64(n-1)),
+		perm: rng.Perm(n),
+		rng:  rng,
+	}
+}
+
+// Pick returns the next model index (not safe for concurrent use; give
+// each load-generator goroutine its own picker).
+func (z *ZipfPicker) Pick() int {
+	return z.perm[int(z.zipf.Uint64())]
+}

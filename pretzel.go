@@ -1,0 +1,103 @@
+// Package pretzel is a white-box machine-learning prediction serving
+// system, a Go reproduction of "PRETZEL: Opening the Black Box of
+// Machine Learning Prediction Serving Systems" (OSDI 2018).
+//
+// Trained pipelines are compiled into model plans — DAGs of fused,
+// ahead-of-time-compiled stages — whose parameters are deduplicated in a
+// shared Object Store and whose physical stages are shared between
+// similar plans. An event-based scheduler multiplexes all plans over
+// pooled vectors and executors, so hundreds of models serve concurrently
+// from one process at low latency and small memory footprint.
+//
+// The package is a facade over the engine packages:
+//
+//	store   — Object Store (parameter dedup) + materialization cache
+//	flour   — the language-integrated pipeline-authoring API
+//	oven    — optimizer (4 rule-based rewrite steps) + plan compiler
+//	plan    — compiled model plans and physical stage kernels
+//	runtime — system catalog, executors, request-response/batch engines
+//	sched   — event-based two-priority scheduler with reservations
+//	frontend— HTTP front end with result caching and delayed batching
+//	ml/ops/text — the model and operator substrate
+//
+// Quickstart:
+//
+//	objStore := pretzel.NewObjectStore()
+//	fc := pretzel.NewFlourContext(objStore)
+//	tok := fc.Text().Tokenize()
+//	prg := tok.CharNgram(charDict, 2, 3).
+//	        Concat(tok.WordNgram(wordDict, 2)).
+//	        ClassifierBinaryLinear(model)
+//	pln, _ := prg.Plan("my-model", pretzel.DefaultCompileOptions())
+//	rt := pretzel.NewRuntime(objStore, pretzel.RuntimeConfig{Executors: 8})
+//	rt.Register(pln)
+//	in, out := pretzel.NewVector(), pretzel.NewVector()
+//	in.SetText("this is a nice product")
+//	rt.Predict("my-model", in, out)
+package pretzel
+
+import (
+	"pretzel/internal/flour"
+	"pretzel/internal/frontend"
+	"pretzel/internal/oven"
+	"pretzel/internal/pipeline"
+	"pretzel/internal/plan"
+	"pretzel/internal/runtime"
+	"pretzel/internal/store"
+	"pretzel/internal/vector"
+)
+
+// Core value and model types.
+type (
+	// Vector is the data vector exchanged with the engines.
+	Vector = vector.Vector
+	// Pipeline is a trained (uncompiled) model pipeline.
+	Pipeline = pipeline.Pipeline
+	// Plan is a compiled model plan.
+	Plan = plan.Plan
+	// ObjectStore deduplicates parameters across plans.
+	ObjectStore = store.ObjectStore
+	// FlourContext authors pipelines fluently.
+	FlourContext = flour.Context
+	// Transform is one node of a Flour program.
+	Transform = flour.Transform
+	// CompileOptions configure the Oven compiler.
+	CompileOptions = oven.Options
+	// Runtime hosts registered plans and serves predictions.
+	Runtime = runtime.Runtime
+	// RuntimeConfig parameterizes the runtime.
+	RuntimeConfig = runtime.Config
+	// FrontEnd is the HTTP serving layer.
+	FrontEnd = frontend.Server
+	// FrontEndConfig parameterizes the front end.
+	FrontEndConfig = frontend.Config
+)
+
+// NewVector returns an empty data vector.
+func NewVector() *Vector { return vector.New(0) }
+
+// NewObjectStore returns an empty Object Store.
+func NewObjectStore() *ObjectStore { return store.New() }
+
+// NewFlourContext returns a pipeline-authoring context over an Object
+// Store (which may be nil for standalone plans).
+func NewFlourContext(s *ObjectStore) *FlourContext { return flour.NewContext(s) }
+
+// DefaultCompileOptions returns the standard compiler configuration
+// (AOT compilation on, sub-plan materialization off).
+func DefaultCompileOptions() CompileOptions { return oven.DefaultOptions() }
+
+// Compile turns a trained pipeline into a model plan, interning its
+// parameters into the Object Store.
+func Compile(p *Pipeline, s *ObjectStore, opts CompileOptions) (*Plan, error) {
+	return oven.Compile(p, s, opts)
+}
+
+// NewRuntime starts a serving runtime.
+func NewRuntime(s *ObjectStore, cfg RuntimeConfig) *Runtime { return runtime.New(s, cfg) }
+
+// NewFrontEnd builds an HTTP front end over a runtime.
+func NewFrontEnd(rt *Runtime, cfg FrontEndConfig) *FrontEnd { return frontend.New(rt, cfg) }
+
+// ImportPipeline deserializes a pipeline from exported model-file bytes.
+func ImportPipeline(b []byte) (*Pipeline, error) { return pipeline.ImportBytes(b) }
