@@ -10,6 +10,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -192,6 +193,36 @@ func BenchmarkFig12BatchEngineThroughput(b *testing.B) {
 	}
 }
 
+// benchmarkScalePool measures concurrent request-response throughput
+// with the given pool sharding (1 = the seed's global-mutex pool,
+// 0 = one shard per core). Run with -cpu 1,2,4,8 for the scaling curve:
+// the sharded pool must beat the global pool at GOMAXPROCS >= 8.
+func benchmarkScalePool(b *testing.B, poolShards int) {
+	rt, names, input := saServing(b, runtime.Config{Executors: 1, PoolShards: poolShards}, oven.DefaultOptions())
+	b.ReportAllocs()
+	b.ResetTimer()
+	var next int64
+	b.RunParallel(func(pb *testing.PB) {
+		in, out := vector.New(0), vector.New(0)
+		for pb.Next() {
+			i := atomic.AddInt64(&next, 1)
+			in.SetText(input)
+			if err := rt.Predict(names[i%int64(len(names))], in, out); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkScalePoolGlobal is the seed contention profile: every
+// concurrent Predict serializes on one pool mutex.
+func BenchmarkScalePoolGlobal(b *testing.B) { benchmarkScalePool(b, 1) }
+
+// BenchmarkScalePoolSharded is the contention-free hot path: pool
+// traffic spreads over one shard per core, batch-acquired per request.
+func BenchmarkScalePoolSharded(b *testing.B) { benchmarkScalePool(b, 0) }
+
 // BenchmarkFig8RegisterPlan measures the off-line phase cost per model
 // (import + compile + register with Object Store dedup), the operation
 // behind Fig. 8's load-time comparison.
@@ -278,5 +309,6 @@ func BenchmarkExpFig10(b *testing.B)       { experimentBenchmark(b, "fig10") }
 func BenchmarkExpFig11(b *testing.B)       { experimentBenchmark(b, "fig11") }
 func BenchmarkExpFig12(b *testing.B)       { experimentBenchmark(b, "fig12") }
 func BenchmarkExpFig13(b *testing.B)       { experimentBenchmark(b, "fig13") }
+func BenchmarkExpScale(b *testing.B)       { experimentBenchmark(b, "scale") }
 func BenchmarkExpReservation(b *testing.B) { experimentBenchmark(b, "reservation") }
 func BenchmarkExpFig14(b *testing.B)       { experimentBenchmark(b, "fig14") }

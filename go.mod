@@ -1,0 +1,3 @@
+module pretzel
+
+go 1.24

@@ -226,6 +226,7 @@ func Experiments() []Experiment {
 		{"fig11", "Figure 11: end-to-end HTTP latency vs containers", runFig11},
 		{"fig12", "Figure 12: throughput scaling with cores", runFig12},
 		{"fig13", "Figure 13: heavy load (micro): throughput + latency", runFig13},
+		{"scale", "§4.2.1: multi-core Predict scaling, global vs sharded pool", runScale},
 		{"reservation", "§5.4.1: reservation-based scheduling under load", runReservation},
 		{"fig14", "Figure 14: heavy load end-to-end vs containers", runFig14},
 	}

@@ -26,10 +26,11 @@ func (k *GenericKernel) Run(ec *Exec, ins []*vector.Vector, out *vector.Vector) 
 	if len(k.Fused) == 1 {
 		return k.Fused[0].Transform(ins, out)
 	}
-	tmpA := ec.Pool.Get(64)
-	tmpB := ec.Pool.Get(64)
-	defer ec.Pool.Put(tmpA)
-	defer ec.Pool.Put(tmpB)
+	// Ping-pong through the executor-owned scratch pair: fused stages
+	// never touch the vector pool (§4.2.1 contention-free hot path).
+	tmpA, tmpB := ec.ScratchPair()
+	tmpA.Reset()
+	tmpB.Reset()
 	cur := tmpA
 	next := tmpB
 	for i, op := range k.Fused {
@@ -239,11 +240,14 @@ var (
 	_ Kernel = (*ConcatKernel)(nil)
 )
 
-// RunPlan executes a compiled plan on one input, drawing intermediate
-// vectors from the context pool. It is the single-threaded reference
-// executor used by the request-response engine; the batch engine
-// schedules stages individually (see the sched package). Steady-state
-// executions perform no heap allocation beyond what pooled vectors grow.
+// RunPlan executes a compiled plan on one input, acquiring ALL the
+// execution's intermediate vectors in one batched pool visit up front
+// and releasing them in one visit at the end (§4.2.1: at most one pool
+// interaction per request instead of one lock round-trip per vector).
+// It is the single-threaded reference executor used by the
+// request-response engine; the batch engine schedules stages
+// individually (see the sched package). Steady-state executions perform
+// no heap allocation beyond what pooled vectors grow.
 func RunPlan(p *Plan, ec *Exec, in *vector.Vector, out *vector.Vector) error {
 	ec.Reset()
 	n := len(p.Stages)
@@ -252,17 +256,13 @@ func RunPlan(p *Plan, ec *Exec, in *vector.Vector, out *vector.Vector) error {
 		ec.outTab = make([]*vector.Vector, n)
 	}
 	outputs := ec.outTab[:n]
-	defer func() {
-		for i, v := range outputs {
-			if v != nil && v != out {
-				ec.Pool.Put(v)
-			}
-			outputs[i] = nil
-		}
-	}()
-	var insBuf [4]*vector.Vector
+	nInter := n - 1
+	if nInter > 0 {
+		ec.Pool.GetN(ec.Shard, outputs[:nInter], p.InterCaps())
+	}
+	outputs[n-1] = out
 	for i, s := range p.Stages {
-		ins := insBuf[:0]
+		ins := ec.InsBuf()
 		for _, src := range s.Inputs {
 			if src == InputID {
 				ins = append(ins, in)
@@ -270,19 +270,27 @@ func RunPlan(p *Plan, ec *Exec, in *vector.Vector, out *vector.Vector) error {
 				ins = append(ins, outputs[src])
 			}
 		}
-		dst := out
-		if i != n-1 {
-			dst = ec.Pool.Get(s.OutCap)
-		}
-		if err := runStage(s, ec, ins, dst); err != nil {
-			if dst != out {
-				ec.Pool.Put(dst)
-			}
+		ec.SetInsBuf(ins)
+		if err := runStage(s, ec, ins, outputs[i]); err != nil {
+			releaseOutputs(ec, outputs, nInter)
 			return fmt.Errorf("plan %s: stage %d: %w", p.Name, i, err)
 		}
-		outputs[i] = dst
 	}
+	releaseOutputs(ec, outputs, nInter)
 	return nil
+}
+
+// releaseOutputs returns a plan execution's intermediate vectors in one
+// batched pool visit and clears the output table. Kept out of a defer so
+// the hot path stays allocation-free (a deferred closure over the table
+// escapes to the heap).
+func releaseOutputs(ec *Exec, outputs []*vector.Vector, nInter int) {
+	if nInter > 0 {
+		ec.Pool.PutN(ec.Shard, outputs[:nInter])
+	}
+	for i := range outputs {
+		outputs[i] = nil
+	}
 }
 
 // runStage executes one stage, consulting the materialization cache for

@@ -36,6 +36,12 @@ type Exec struct {
 	// Pool supplies intermediate vectors.
 	Pool *vector.Pool
 
+	// Shard pins this context's pool traffic to one shard of a sharded
+	// Pool (obtained once from Pool.ShardHint). Executors and pooled
+	// request contexts are long-lived, so the pin gives goroutine
+	// affinity: gets and puts stay on one uncontended free list.
+	Shard uint32
+
 	// Cache, when non-nil, enables sub-plan materialization (§4.3).
 	Cache *store.MatCache
 
@@ -43,7 +49,37 @@ type Exec struct {
 	TokBuf  []byte
 	WStream text.WordNgramStream
 	outTab  []*vector.Vector
+	insTab  []*vector.Vector
+	scratch [2]*vector.Vector
 }
+
+// InsBuf returns the context's reusable stage-input buffer, emptied.
+// Passing a context-owned slice through the Kernel interface keeps the
+// hot path allocation-free (a stack buffer would escape at the
+// interface call).
+func (e *Exec) InsBuf() []*vector.Vector {
+	if e.insTab == nil {
+		e.insTab = make([]*vector.Vector, 0, 4)
+	}
+	return e.insTab[:0]
+}
+
+// SetInsBuf hands a (possibly grown) input buffer back to the context.
+func (e *Exec) SetInsBuf(b []*vector.Vector) { e.insTab = b }
+
+// ScratchPair returns two executor-owned scratch vectors for kernels
+// that ping-pong through a fused operator sequence. They live with the
+// context (allocated once, reused forever), so fused execution costs no
+// pool round-trip at all.
+func (e *Exec) ScratchPair() (*vector.Vector, *vector.Vector) {
+	if e.scratch[0] == nil {
+		e.scratch[0] = vector.New(1 << minScratchShift)
+		e.scratch[1] = vector.New(1 << minScratchShift)
+	}
+	return e.scratch[0], e.scratch[1]
+}
+
+const minScratchShift = 6
 
 // Reset prepares the context for a fresh prediction.
 func (e *Exec) Reset() { e.Acc = 0 }
@@ -113,6 +149,26 @@ type Plan struct {
 	MaxVecSize int
 	// InputIsText records the expected input kind for the FrontEnd.
 	InputIsText bool
+
+	capsOnce  sync.Once
+	interCaps []int
+}
+
+// InterCaps returns the pool capacity hints for the plan's intermediate
+// vectors (outputs of every stage but the last), so executors can
+// acquire the whole execution's memory in one batched pool visit.
+func (p *Plan) InterCaps() []int {
+	p.capsOnce.Do(func() {
+		if len(p.Stages) < 2 {
+			return
+		}
+		caps := make([]int, len(p.Stages)-1)
+		for i, s := range p.Stages[:len(p.Stages)-1] {
+			caps[i] = s.OutCap
+		}
+		p.interCaps = caps
+	})
+	return p.interCaps
 }
 
 // Output returns the index of the output stage.

@@ -1,0 +1,8 @@
+//go:build !race
+
+package runtime
+
+// raceEnabled reports whether the race detector instruments this build
+// (its shadow-memory bookkeeping allocates, so alloc-count assertions
+// only hold without it).
+const raceEnabled = false

@@ -10,6 +10,7 @@ package runtime
 
 import (
 	"fmt"
+	goruntime "runtime"
 	"sync"
 
 	"pretzel/internal/plan"
@@ -30,6 +31,11 @@ type Config struct {
 	// VectorsPerExecutor / VectorCapHint preallocate executor pools.
 	VectorsPerExecutor int
 	VectorCapHint      int
+	// PoolShards shards the request-response vector pool so concurrent
+	// Predict callers on different cores never contend on one lock.
+	// 0 means one shard per core (GOMAXPROCS); 1 emulates the old
+	// global-mutex pool (used as the scaling-experiment baseline).
+	PoolShards int
 }
 
 // Registered is a plan installed in the runtime.
@@ -69,13 +75,21 @@ func New(objStore *store.ObjectStore, cfg Config) *Runtime {
 	if cfg.MatCacheBytes > 0 {
 		rt.matCache = store.NewMatCache(cfg.MatCacheBytes)
 	}
-	if cfg.DisableVectorPooling {
+	switch {
+	case cfg.DisableVectorPooling:
 		rt.rrPool = vector.NewDisabledPool()
-	} else {
-		rt.rrPool = vector.NewPool()
+	case cfg.PoolShards > 0:
+		rt.rrPool = vector.NewPoolShards(cfg.PoolShards)
+	default:
+		rt.rrPool = vector.NewPoolShards(goruntime.GOMAXPROCS(0))
+	}
+	if cfg.VectorsPerExecutor > 0 {
+		rt.rrPool.Preallocate(cfg.VectorsPerExecutor*rt.rrPool.NumShards(), cfg.VectorCapHint)
 	}
 	rt.execPool.New = func() any {
-		return &plan.Exec{Pool: rt.rrPool, Cache: rt.matCache}
+		// Pooled contexts are long-lived and sticky to a P (sync.Pool),
+		// so pinning each to one pool shard gives core affinity.
+		return &plan.Exec{Pool: rt.rrPool, Shard: rt.rrPool.ShardHint(), Cache: rt.matCache}
 	}
 	rt.sched = sched.New(sched.Config{
 		Executors:            cfg.Executors,
@@ -91,6 +105,13 @@ func (rt *Runtime) ObjectStore() *store.ObjectStore { return rt.objStore }
 
 // MatCache returns the materialization cache (nil when disabled).
 func (rt *Runtime) MatCache() *store.MatCache { return rt.matCache }
+
+// PoolStats returns the request-response vector pool counters
+// (invariants: Gets == Hits + Allocs, Puts <= Gets).
+func (rt *Runtime) PoolStats() vector.PoolStats { return rt.rrPool.Stats() }
+
+// BatchPoolStats aggregates the batch-engine executor pool counters.
+func (rt *Runtime) BatchPoolStats() vector.PoolStats { return rt.sched.PoolStats() }
 
 // Register installs a compiled plan: physical stages already present in
 // the system catalog (same stage ID) are shared — the plan's stage is

@@ -1,11 +1,14 @@
 // Package sched implements PRETZEL's event-based scheduler (§4.2.2):
-// each core runs an Executor; all executors pull stage-execution events
-// from a shared pair of queues — a low-priority queue for the head stages
-// of newly submitted pipelines and a high-priority queue for stages of
-// already-started pipelines. Started pipelines therefore finish early and
-// return their pooled vectors quickly. Reservation-based scheduling gives
-// a plan dedicated executors and vector pools, emulating container-style
-// isolation while still sharing parameters and physical stages.
+// each core runs an Executor pulling stage-execution events from its own
+// two-priority queue shard — a low-priority queue for the head stages of
+// newly submitted pipelines and a high-priority queue for stages of
+// already-started pipelines — and steals from other executors' shards
+// when its own is empty, high priority always before low. Started
+// pipelines therefore finish early and return their pooled vectors
+// quickly, while executors never convoy on one shared mutex and cond
+// var. Reservation-based scheduling gives a plan dedicated executors and
+// vector pools, emulating container-style isolation while still sharing
+// parameters and physical stages.
 package sched
 
 import (
@@ -28,13 +31,14 @@ type Job struct {
 	Ins  []*vector.Vector
 	Outs []*vector.Vector
 
-	cache   *store.MatCache
-	retPool *vector.Pool       // pool bound at first stage execution
-	accs    []float32          // per-record pushdown accumulators
-	outputs [][]*vector.Vector // [stage][record] intermediate vectors
-	pending []int32            // per-stage unmet input count (atomic)
-	heads   []int              // stages with no stage dependencies
-	left    atomic.Int32
+	cache    *store.MatCache
+	retPool  *vector.Pool       // pool bound at first stage execution
+	retShard uint32             // shard hint of the binding executor
+	accs     []float32          // per-record pushdown accumulators
+	outputs  [][]*vector.Vector // [stage][record] intermediate vectors
+	pending  []int32            // per-stage unmet input count (atomic)
+	heads    []int              // stages with no stage dependencies
+	left     atomic.Int32
 
 	failed  atomic.Bool
 	errOnce sync.Once
@@ -91,80 +95,222 @@ type event struct {
 	stage int
 }
 
-// queueSet is an unbounded two-priority blocking queue. High-priority
-// events (stages of started pipelines) are always served before
-// low-priority ones (pipeline heads), so running pipelines drain early
-// and return memory quickly (§4.2.2).
-type queueSet struct {
+// queueShard is one independently locked two-priority FIFO pair. The
+// hi/lo atomic counters let poppers and sleepers skip empty shards
+// without taking the lock; the trailing pad keeps adjacent shards off
+// one cache line.
+type queueShard struct {
 	mu     sync.Mutex
-	cond   *sync.Cond
 	high   []event
 	hHead  int
 	low    []event
 	lHead  int
 	closed bool
+
+	hi atomic.Int32 // len(high) - hHead
+	lo atomic.Int32 // len(low) - lHead
+
+	_ [64]byte
 }
 
-func newQueueSet() *queueSet {
-	q := &queueSet{}
-	q.cond = sync.NewCond(&q.mu)
+// take pops the shard's oldest event of the given priority, non-blocking.
+func (s *queueShard) take(high bool) (ev event, ok bool) {
+	s.mu.Lock()
+	if high {
+		if len(s.high) > s.hHead {
+			ev = s.high[s.hHead]
+			s.high[s.hHead] = event{}
+			s.hHead++
+			if s.hHead == len(s.high) {
+				s.high = s.high[:0]
+				s.hHead = 0
+			}
+			s.hi.Add(-1)
+			ok = true
+		}
+	} else {
+		if len(s.low) > s.lHead {
+			ev = s.low[s.lHead]
+			s.low[s.lHead] = event{}
+			s.lHead++
+			if s.lHead == len(s.low) {
+				s.low = s.low[:0]
+				s.lHead = 0
+			}
+			s.lo.Add(-1)
+			ok = true
+		}
+	}
+	s.mu.Unlock()
+	return ev, ok
+}
+
+// queueSet is an unbounded two-priority blocking queue, sharded one
+// queue pair per executor with work-stealing between shards. Executors
+// serve their own shard first and steal high-priority events (stages of
+// started pipelines) from every shard before any low-priority event
+// (pipeline heads), so running pipelines still drain early and return
+// memory quickly (§4.2.2) — without all cores convoying on one mutex
+// and cond var.
+type queueSet struct {
+	shards []queueShard
+	cursor atomic.Uint32 // round-robin shard pick for external submits
+
+	// Parking: executors that find every shard empty sleep on wakeCond.
+	// sleepers is written under wakeMu but read lock-free by pushers, so
+	// the push fast path never touches the wake mutex while anyone runs.
+	wakeMu   sync.Mutex
+	wakeCond *sync.Cond
+	sleepers atomic.Int32
+	closed   atomic.Bool
+}
+
+// newQueueSet builds a queue set with one shard per executor.
+func newQueueSet(shards int) *queueSet {
+	if shards < 1 {
+		shards = 1
+	}
+	q := &queueSet{shards: make([]queueShard, shards)}
+	q.wakeCond = sync.NewCond(&q.wakeMu)
 	return q
 }
 
-// push enqueues an event; returns false if the queue is closed.
-func (q *queueSet) push(ev event, high bool) bool {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if q.closed {
+// push enqueues an event on the hinted shard; returns false if closed.
+// Executors push readiness (high) events to their own shard for
+// locality; Submit spreads pipeline heads round-robin.
+func (q *queueSet) push(ev event, high bool, hint uint32) bool {
+	s := &q.shards[hint%uint32(len(q.shards))]
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
 		return false
 	}
 	if high {
-		q.high = append(q.high, ev)
+		s.high = append(s.high, ev)
+		s.hi.Add(1)
 	} else {
-		q.low = append(q.low, ev)
+		s.low = append(s.low, ev)
+		s.lo.Add(1)
 	}
-	q.cond.Signal()
+	s.mu.Unlock()
+	q.wake(1)
 	return true
 }
 
-// pop blocks for the next event, high priority first. ok=false on close.
-func (q *queueSet) pop() (ev event, ok bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
+// pushN enqueues a batch of events on one shard in one lock round-trip.
+func (q *queueSet) pushN(evs []event, high bool, hint uint32) bool {
+	if len(evs) == 0 {
+		return true
+	}
+	s := &q.shards[hint%uint32(len(q.shards))]
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false
+	}
+	if high {
+		s.high = append(s.high, evs...)
+		s.hi.Add(int32(len(evs)))
+	} else {
+		s.low = append(s.low, evs...)
+		s.lo.Add(int32(len(evs)))
+	}
+	s.mu.Unlock()
+	q.wake(len(evs))
+	return true
+}
+
+// wake signals up to n parked executors if any. Pairs with the
+// sleepers-then-recheck protocol in pop: with sequentially consistent
+// atomics, either the pusher observes the sleeper (and signals under
+// wakeMu) or the sleeper's recheck observes the pushed counter. One
+// signal per enqueued event lets a batch of independent head stages
+// start on distinct executors at once.
+func (q *queueSet) wake(n int) {
+	if q.sleepers.Load() == 0 {
+		return
+	}
+	q.wakeMu.Lock()
+	for i := 0; i < n; i++ {
+		q.wakeCond.Signal()
+	}
+	q.wakeMu.Unlock()
+}
+
+// anyWork reports whether any shard holds a queued event.
+func (q *queueSet) anyWork() bool {
+	for i := range q.shards {
+		if q.shards[i].hi.Load() > 0 || q.shards[i].lo.Load() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// pop blocks for the next event for executor self: own shard's high
+// queue, then high stolen from other shards, then own low, then stolen
+// low. ok=false once the set is closed and fully drained.
+func (q *queueSet) pop(self int) (ev event, ok bool) {
+	n := len(q.shards)
 	for {
-		if len(q.high) > q.hHead {
-			ev = q.high[q.hHead]
-			q.high[q.hHead] = event{}
-			q.hHead++
-			if q.hHead == len(q.high) {
-				q.high = q.high[:0]
-				q.hHead = 0
+		for k := 0; k < n; k++ {
+			s := &q.shards[(self+k)%n]
+			if s.hi.Load() > 0 {
+				if ev, ok := s.take(true); ok {
+					return ev, true
+				}
 			}
-			return ev, true
 		}
-		if len(q.low) > q.lHead {
-			ev = q.low[q.lHead]
-			q.low[q.lHead] = event{}
-			q.lHead++
-			if q.lHead == len(q.low) {
-				q.low = q.low[:0]
-				q.lHead = 0
+		for k := 0; k < n; k++ {
+			s := &q.shards[(self+k)%n]
+			if s.lo.Load() > 0 {
+				if ev, ok := s.take(false); ok {
+					return ev, true
+				}
 			}
-			return ev, true
 		}
-		if q.closed {
+		if q.closed.Load() {
+			// Final locked sweep so in-flight events still drain.
+			for i := range q.shards {
+				if ev, ok := q.shards[i].take(true); ok {
+					return ev, true
+				}
+				if ev, ok := q.shards[i].take(false); ok {
+					return ev, true
+				}
+			}
 			return event{}, false
 		}
-		q.cond.Wait()
+		q.wakeMu.Lock()
+		q.sleepers.Add(1)
+		if q.anyWork() || q.closed.Load() {
+			q.sleepers.Add(-1)
+			q.wakeMu.Unlock()
+			continue
+		}
+		q.wakeCond.Wait()
+		q.sleepers.Add(-1)
+		q.wakeMu.Unlock()
 	}
 }
 
-// close wakes all waiters; queued events are dropped.
+// close wakes all waiters; push fails afterwards and executors exit once
+// the shards are drained. The per-shard flags are set BEFORE the global
+// flag: an executor only exits after observing q.closed and sweeping the
+// shards under their locks, and any push that succeeded did so while its
+// shard was still open — i.e. before q.closed became true — so its event
+// is visible to that final sweep and no job is stranded.
 func (q *queueSet) close() {
-	q.mu.Lock()
-	q.closed = true
-	q.cond.Broadcast()
-	q.mu.Unlock()
+	for i := range q.shards {
+		s := &q.shards[i]
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+	}
+	q.closed.Store(true)
+	q.wakeMu.Lock()
+	q.wakeCond.Broadcast()
+	q.wakeMu.Unlock()
 }
 
 // Config sets scheduler parameters.
@@ -188,6 +334,7 @@ type Scheduler struct {
 
 	mu           sync.Mutex
 	reservations map[string]*queueSet
+	pools        []*vector.Pool // every executor-owned pool, for stats
 
 	closed atomic.Bool
 	wg     sync.WaitGroup
@@ -200,14 +347,45 @@ func New(cfg Config) *Scheduler {
 	}
 	s := &Scheduler{
 		cfg:          cfg,
-		shared:       newQueueSet(),
+		shared:       newQueueSet(cfg.Executors),
 		reservations: make(map[string]*queueSet),
 	}
 	for i := 0; i < cfg.Executors; i++ {
 		s.wg.Add(1)
-		go s.executor(s.shared)
+		go s.executor(s.shared, i, s.newExecutorPool())
 	}
 	return s
+}
+
+// newExecutorPool builds one executor's vector pool and records it for
+// PoolStats aggregation.
+func (s *Scheduler) newExecutorPool() *vector.Pool {
+	var pool *vector.Pool
+	if s.cfg.DisableVectorPooling {
+		pool = vector.NewDisabledPool()
+	} else {
+		pool = vector.NewPool()
+		if s.cfg.VectorsPerExecutor > 0 {
+			pool.Preallocate(s.cfg.VectorsPerExecutor, s.cfg.VectorCapHint)
+		}
+	}
+	s.mu.Lock()
+	s.pools = append(s.pools, pool)
+	s.mu.Unlock()
+	return pool
+}
+
+// PoolStats aggregates the counters of every executor-owned vector pool
+// (invariants: Gets == Hits + Allocs, Puts <= Gets).
+func (s *Scheduler) PoolStats() vector.PoolStats {
+	s.mu.Lock()
+	pools := append([]*vector.Pool(nil), s.pools...)
+	s.mu.Unlock()
+	var st vector.PoolStats
+	for _, p := range pools {
+		st.Add(p.Stats())
+	}
+	return st
 }
 
 // Reserve dedicates n executors (with their own queues and vector pools)
@@ -218,15 +396,16 @@ func (s *Scheduler) Reserve(planName string, n int) error {
 		return fmt.Errorf("sched: reservation needs n > 0")
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, dup := s.reservations[planName]; dup {
+		s.mu.Unlock()
 		return fmt.Errorf("sched: plan %q already reserved", planName)
 	}
-	qs := newQueueSet()
+	qs := newQueueSet(n)
 	s.reservations[planName] = qs
+	s.mu.Unlock()
 	for i := 0; i < n; i++ {
 		s.wg.Add(1)
-		go s.executor(qs)
+		go s.executor(qs, i, s.newExecutorPool())
 	}
 	return nil
 }
@@ -242,15 +421,18 @@ func (s *Scheduler) queuesFor(planName string) *queueSet {
 }
 
 // Submit enqueues a job: its head stages (those depending only on the
-// request input) enter the low-priority queue.
+// request input) enter one round-robin-chosen shard's low-priority
+// queue in a single lock round-trip.
 func (s *Scheduler) Submit(j *Job) {
 	qs := s.queuesFor(j.Plan.Name)
+	var evBuf [4]event
+	evs := evBuf[:0]
 	for _, i := range j.heads {
-		if !qs.push(event{job: j, stage: i}, false) {
-			j.fail(fmt.Errorf("sched: scheduler stopped"))
-			j.finish()
-			return
-		}
+		evs = append(evs, event{job: j, stage: i})
+	}
+	if !qs.pushN(evs, false, qs.cursor.Add(1)) {
+		j.fail(fmt.Errorf("sched: scheduler stopped"))
+		j.finish()
 	}
 }
 
@@ -268,26 +450,18 @@ func (s *Scheduler) Close() {
 	s.wg.Wait()
 }
 
-// executor is the per-core worker loop with its own vector pool and
-// execution context (allocated per executor to improve locality, §4.2.1).
-func (s *Scheduler) executor(qs *queueSet) {
+// executor is the per-core worker loop with its own vector pool, queue
+// shard, and execution context (allocated per executor to improve
+// locality, §4.2.1).
+func (s *Scheduler) executor(qs *queueSet, idx int, pool *vector.Pool) {
 	defer s.wg.Done()
-	var pool *vector.Pool
-	if s.cfg.DisableVectorPooling {
-		pool = vector.NewDisabledPool()
-	} else {
-		pool = vector.NewPool()
-		if s.cfg.VectorsPerExecutor > 0 {
-			pool.Preallocate(s.cfg.VectorsPerExecutor, s.cfg.VectorCapHint)
-		}
-	}
-	ec := &plan.Exec{Pool: pool}
+	ec := &plan.Exec{Pool: pool, Shard: pool.ShardHint()}
 	for {
-		ev, ok := qs.pop()
+		ev, ok := qs.pop(idx)
 		if !ok {
 			return
 		}
-		s.exec(ev, ec, qs)
+		s.exec(ev, ec, qs, idx)
 	}
 }
 
@@ -297,21 +471,28 @@ func (s *Scheduler) executor(qs *queueSet) {
 // per-record pushdown accumulator is handed off through the job for
 // accumulator-using stages (which the compiler only emits in linear
 // chains, so the handoff never races with a concurrent sibling stage).
-func (s *Scheduler) exec(ev event, ec *plan.Exec, qs *queueSet) {
+func (s *Scheduler) exec(ev event, ec *plan.Exec, qs *queueSet, idx int) {
 	j := ev.job
 	if !j.failed.Load() {
 		// Vectors are requested per pipeline, lazily, when the first
-		// stage executes: the job binds this executor's pool for returns.
-		j.poolOnce.Do(func() { j.retPool = ec.Pool })
+		// stage executes: the job binds this executor's pool (and its
+		// shard) for returns.
+		j.poolOnce.Do(func() { j.retPool, j.retShard = ec.Pool, ec.Shard })
 		ec.Cache = j.cache
 
 		st := j.Plan.Stages[ev.stage]
 		last := ev.stage == len(j.Plan.Stages)-1
 		nRec := len(j.Ins)
 		row := make([]*vector.Vector, nRec)
-		var insBuf [4]*vector.Vector
+		if last {
+			copy(row, j.Outs)
+		} else {
+			// One pool visit acquires the whole record row for the stage.
+			ec.Pool.GetNUniform(ec.Shard, row, st.OutCap)
+		}
+		j.outputs[ev.stage] = row
 		for r := 0; r < nRec && !j.failed.Load(); r++ {
-			ins := insBuf[:0]
+			ins := ec.InsBuf()
 			for _, src := range st.Inputs {
 				if src == plan.InputID {
 					ins = append(ins, j.Ins[r])
@@ -319,28 +500,21 @@ func (s *Scheduler) exec(ev event, ec *plan.Exec, qs *queueSet) {
 					ins = append(ins, j.outputs[src][r])
 				}
 			}
-			dst := j.Outs[r]
-			if !last {
-				dst = ec.Pool.Get(st.OutCap)
-			}
+			ec.SetInsBuf(ins)
 			if st.UsesAcc {
 				ec.Acc = j.accs[r]
 			}
-			if err := plan.RunStage(st, ec, ins, dst); err != nil {
-				if !last {
-					ec.Pool.Put(dst)
-				}
+			if err := plan.RunStage(st, ec, ins, row[r]); err != nil {
 				j.fail(fmt.Errorf("sched: plan %s stage %d record %d: %w", j.Plan.Name, ev.stage, r, err))
 				break
 			}
 			if st.UsesAcc {
 				j.accs[r] = ec.Acc
 			}
-			row[r] = dst
 		}
-		j.outputs[ev.stage] = row
 	}
 	// Propagate readiness (also for skipped stages of failed jobs).
+	// Ready consumers go to this executor's own shard, high priority.
 	for k := ev.stage + 1; k < len(j.Plan.Stages); k++ {
 		consumes := false
 		for _, src := range j.Plan.Stages[k].Inputs {
@@ -353,7 +527,7 @@ func (s *Scheduler) exec(ev event, ec *plan.Exec, qs *queueSet) {
 			continue
 		}
 		if atomic.AddInt32(&j.pending[k], -1) == 0 {
-			if !qs.push(event{job: j, stage: k}, true) {
+			if !qs.push(event{job: j, stage: k}, true, uint32(idx)) {
 				j.fail(fmt.Errorf("sched: scheduler stopped"))
 				// Fall through: completeStage below still drains.
 				j.completeStage()
@@ -365,17 +539,18 @@ func (s *Scheduler) exec(ev event, ec *plan.Exec, qs *queueSet) {
 
 // completeStage accounts one finished (or skipped) stage and finalizes
 // the job when all stages have drained: pooled vectors are returned for
-// the whole pipeline and the waiter is signalled.
+// the whole pipeline — one batched pool visit per stage row — and the
+// waiter is signalled.
 func (j *Job) completeStage() {
 	if j.left.Add(-1) != 0 {
 		return
 	}
 	if j.retPool != nil {
+		lastIdx := len(j.Plan.Stages) - 1
 		for i, row := range j.outputs {
-			for k, v := range row {
-				if v != nil && v != j.Outs[k] {
-					j.retPool.Put(v)
-				}
+			// The last stage's row is the caller's output vectors.
+			if i != lastIdx && row != nil {
+				j.retPool.PutN(j.retShard, row)
 			}
 			j.outputs[i] = nil
 		}

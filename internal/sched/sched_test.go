@@ -5,6 +5,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"pretzel/internal/ml"
 	"pretzel/internal/ops"
@@ -228,37 +229,110 @@ func TestSubmitAfterClose(t *testing.T) {
 }
 
 func TestQueuePriorities(t *testing.T) {
-	q := newQueueSet()
+	q := newQueueSet(1)
 	jA := &Job{}
 	jB := &Job{}
-	q.push(event{job: jA, stage: 0}, false)
-	q.push(event{job: jB, stage: 1}, true)
-	ev, ok := q.pop()
+	q.push(event{job: jA, stage: 0}, false, 0)
+	q.push(event{job: jB, stage: 1}, true, 0)
+	ev, ok := q.pop(0)
 	if !ok || ev.job != jB {
 		t.Fatal("high priority must be served first")
 	}
-	ev, ok = q.pop()
+	ev, ok = q.pop(0)
 	if !ok || ev.job != jA {
 		t.Fatal("low priority must follow")
 	}
 	q.close()
-	if _, ok := q.pop(); ok {
+	if _, ok := q.pop(0); ok {
 		t.Fatal("closed queue must report not-ok")
 	}
-	if q.push(event{}, true) {
+	if q.push(event{}, true, 0) {
 		t.Fatal("push after close must fail")
 	}
 }
 
 func TestQueueFIFOWithinPriority(t *testing.T) {
-	q := newQueueSet()
+	q := newQueueSet(1)
 	for i := 0; i < 10; i++ {
-		q.push(event{stage: i}, true)
+		q.push(event{stage: i}, true, 0)
 	}
 	for i := 0; i < 10; i++ {
-		ev, _ := q.pop()
+		ev, _ := q.pop(0)
 		if ev.stage != i {
 			t.Fatalf("order broken: got %d want %d", ev.stage, i)
+		}
+	}
+}
+
+func TestQueueWorkStealing(t *testing.T) {
+	// Events pushed to shard 0 must be poppable by executor 3, and a
+	// high-priority event on a FOREIGN shard must be served before a
+	// low-priority event on the popper's OWN shard (the "started
+	// pipelines drain first" invariant survives sharding).
+	q := newQueueSet(4)
+	jHigh := &Job{}
+	jLow := &Job{}
+	q.push(event{job: jLow, stage: 0}, false, 3)  // own shard, low
+	q.push(event{job: jHigh, stage: 1}, true, 0)  // foreign shard, high
+	ev, ok := q.pop(3)
+	if !ok || ev.job != jHigh {
+		t.Fatal("stolen high-priority event must beat own-shard low")
+	}
+	ev, ok = q.pop(3)
+	if !ok || ev.job != jLow {
+		t.Fatal("own low-priority event must follow")
+	}
+	// pushN lands a whole batch on one shard; any executor drains it.
+	evs := []event{{stage: 10}, {stage: 11}, {stage: 12}}
+	if !q.pushN(evs, false, 2) {
+		t.Fatal("pushN on open queue must succeed")
+	}
+	for i := 0; i < 3; i++ {
+		ev, ok := q.pop(1)
+		if !ok || ev.stage != 10+i {
+			t.Fatalf("batch drain order: got %v %v", ev.stage, ok)
+		}
+	}
+	q.close()
+	if q.pushN(evs, false, 0) {
+		t.Fatal("pushN after close must fail")
+	}
+}
+
+func TestSubmitRacingClose(t *testing.T) {
+	// A Submit racing Close must never strand a job: every job either
+	// completes or fails, so Wait always returns. (Regression: close()
+	// once set the global closed flag before the shard flags, letting a
+	// push land on a still-open shard after all executors had exited.)
+	pl := saPlan(t, "sa")
+	for iter := 0; iter < 200; iter++ {
+		s := New(Config{Executors: 2})
+		const n = 8
+		jobs := make([]*Job, n)
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				in, out := vector.New(0), vector.New(0)
+				in.SetText("nice")
+				jobs[i] = NewJob(pl, in, out, nil)
+				s.Submit(jobs[i])
+			}
+		}()
+		s.Close()
+		wg.Wait()
+		done := make(chan struct{})
+		go func() {
+			for _, j := range jobs {
+				j.Wait() // error or nil both fine; hanging is the bug
+			}
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("iter %d: job stranded after Submit/Close race", iter)
 		}
 	}
 }

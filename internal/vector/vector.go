@@ -376,7 +376,12 @@ func (v *Vector) String() string {
 	case KindText:
 		return fmt.Sprintf("text(%q)", v.Text)
 	case KindTokens:
-		return fmt.Sprintf("tokens[%d](%s...)", len(v.Tokens), strings.Join(firstN(v.Tokens, 3), ","))
+		n := v.NumTokens()
+		head := make([]string, 0, 3)
+		for i := 0; i < n && i < 3; i++ {
+			head = append(head, string(v.TokenAt(i)))
+		}
+		return fmt.Sprintf("tokens[%d](%s...)", n, strings.Join(head, ","))
 	case KindDense:
 		return fmt.Sprintf("dense[%d]", v.Dim)
 	case KindSparse:
@@ -384,11 +389,4 @@ func (v *Vector) String() string {
 	default:
 		return "invalid"
 	}
-}
-
-func firstN(s []string, n int) []string {
-	if len(s) < n {
-		return s
-	}
-	return s[:n]
 }
