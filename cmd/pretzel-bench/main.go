@@ -6,6 +6,7 @@
 // Usage:
 //
 //	pretzel-bench -exp fig9            # one experiment at full scale
+//	pretzel-bench -exp deadline        # deadline-aware scheduling shed rates
 //	pretzel-bench -exp all -quick      # everything at reduced scale
 //	pretzel-bench -list
 package main

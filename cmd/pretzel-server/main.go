@@ -1,9 +1,16 @@
 // Command pretzel-server loads a model repository (zips exported by
 // pretzel-train), compiles every pipeline into a model plan sharing
-// parameters through the Object Store, and serves predictions over HTTP:
+// parameters through the Object Store, and serves predictions over HTTP
+// with a white-box management plane:
 //
-//	POST /predict {"model":"sa-001","input":"a nice product"}
-//	GET  /healthz
+//	POST   /predict {"model":"sa-001","input":"a nice product","timeout_ms":50}
+//	GET    /models                     models, labels, versions
+//	GET    /models/sa-001              per-stage latency/exec counters
+//	POST   /models?name=sa-001&version=2   register an uploaded zip
+//	POST   /models/sa-001/labels       {"label":"stable","version":2}  hot swap
+//	DELETE /models/sa-001@1            unregister one version (drains first)
+//	GET    /statz                      pool / catalog / scheduler / cache stats
+//	GET    /healthz
 package main
 
 import (
@@ -32,6 +39,7 @@ func main() {
 		cache      = flag.Int("cache", 4096, "prediction cache entries (0 = off)")
 		delay      = flag.Duration("batch-delay", 0, "delayed batching window (0 = request-response)")
 		materalize = flag.Bool("materialize", false, "compile for sub-plan materialization")
+		maxUpload  = flag.Int64("max-upload", 64<<20, "POST /models body limit in bytes")
 	)
 	flag.Parse()
 
@@ -85,7 +93,12 @@ func main() {
 	fmt.Printf("registered %d plans in %v (object store: %d unique params, %d dedup hits)\n",
 		n, time.Since(t0).Round(time.Millisecond), st.Unique, st.Hits)
 
-	fe := pretzel.NewFrontEnd(rt, frontend.Config{CacheEntries: *cache, BatchDelay: *delay})
-	fmt.Printf("serving on %s\n", *addr)
+	fe := pretzel.NewFrontEnd(rt, frontend.Config{
+		CacheEntries:   *cache,
+		BatchDelay:     *delay,
+		CompileOptions: &opts,
+		MaxUploadBytes: *maxUpload,
+	})
+	fmt.Printf("serving on %s (management plane: /models, /statz)\n", *addr)
 	log.Fatal(http.ListenAndServe(*addr, fe))
 }

@@ -3,8 +3,11 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
+	"time"
 
 	"pretzel"
 	"pretzel/internal/dataset"
@@ -74,12 +77,15 @@ func main() {
 		fmt.Printf("  stage %d: kernel=%s\n", i, s.Kern.Kind())
 	}
 
-	// 5. Register and serve.
+	// 5. Register and serve: Register installs quickstart-sa@1 and
+	//    points the "stable" label at it. Requests carry a context and
+	//    an optional deadline; failures come back as typed errors.
 	rt := pretzel.NewRuntime(objStore, pretzel.RuntimeConfig{Executors: 4})
 	defer rt.Close()
 	if _, err := rt.Register(pln); err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
 	in, out := pretzel.NewVector(), pretzel.NewVector()
 	for _, s := range []string{
 		"this is a nice product, works great and i love it",
@@ -87,9 +93,33 @@ func main() {
 		"an average thing, nothing special about it",
 	} {
 		in.SetText(s)
-		if err := rt.Predict("quickstart-sa", in, out); err != nil {
+		err := rt.PredictRequest(pretzel.Request{
+			Ctx:      ctx,
+			Model:    "quickstart-sa@stable",
+			In:       in,
+			Out:      out,
+			Deadline: time.Now().Add(50 * time.Millisecond),
+		})
+		switch {
+		case errors.Is(err, pretzel.ErrModelNotFound):
+			log.Fatalf("model vanished: %v", err)
+		case errors.Is(err, pretzel.ErrDeadlineExceeded):
+			log.Fatalf("request over budget: %v", err)
+		case err != nil:
 			log.Fatal(err)
 		}
 		fmt.Printf("P(positive)=%.3f  %q\n", out.Dense[0], s)
+	}
+
+	// 6. White-box introspection: per-stage execution counters.
+	info, err := rt.ModelInfo("quickstart-sa")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, v := range info.Versions {
+		for _, st := range v.Stages {
+			fmt.Printf("  v%d stage %d: kernel=%-12s execs=%d avg=%dns\n",
+				v.Version, st.Index, st.Kernel, st.Execs, st.AvgNanos)
+		}
 	}
 }

@@ -229,6 +229,7 @@ func Experiments() []Experiment {
 		{"scale", "§4.2.1: multi-core Predict scaling, global vs sharded pool", runScale},
 		{"reservation", "§5.4.1: reservation-based scheduling under load", runReservation},
 		{"fig14", "Figure 14: heavy load end-to-end vs containers", runFig14},
+		{"deadline", "deadline-aware scheduling: expired jobs shed before dispatch", runDeadline},
 	}
 }
 

@@ -99,8 +99,11 @@ func pretzelThroughput(files, names []string, input string, cores, total int) (f
 		ins[i].SetText(input)
 	}
 	// Output buffers rotate across the in-flight window so concurrent
-	// jobs never share them.
-	nBuf := 2*cores + 1
+	// jobs never share them. The window is 2*cores queued in the
+	// inflight channel, plus one popped by the drainer (its Wait may
+	// not have returned), plus the one just submitted before the
+	// submitter blocks on the channel send.
+	nBuf := 2*cores + 2
 	outBufs := make([][]*vector.Vector, nBuf)
 	for b := range outBufs {
 		outBufs[b] = make([]*vector.Vector, batch)

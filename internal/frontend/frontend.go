@@ -2,17 +2,22 @@
 // server over the Runtime with the two "external" optimizations other
 // serving systems also apply — prediction-result caching (LRU) and
 // delayed batching (requests buffered for a user-specified time window,
-// then submitted together to the batch engine).
+// then submitted together to the batch engine) — plus the white-box
+// management plane: model listing with per-stage execution counters,
+// zip upload, label moves, deletion and server-wide /statz.
 package frontend
 
 import (
 	"container/list"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
 	"time"
 
+	"pretzel/internal/oven"
 	"pretzel/internal/runtime"
 	"pretzel/internal/vector"
 )
@@ -24,12 +29,18 @@ type Config struct {
 	// BatchDelay buffers requests per model for this window, then submits
 	// them together to the batch engine (0 = request-response engine).
 	BatchDelay time.Duration
+	// CompileOptions configure compilation of uploaded models
+	// (nil = oven.DefaultOptions).
+	CompileOptions *oven.Options
+	// MaxUploadBytes bounds POST /models bodies (0 = 64 MiB).
+	MaxUploadBytes int64
 }
 
 // Server is the HTTP front end.
 type Server struct {
-	rt  *runtime.Runtime
-	cfg Config
+	rt    *runtime.Runtime
+	cfg   Config
+	start time.Time
 
 	cache *predCache
 
@@ -42,6 +53,8 @@ type Server struct {
 // pendingReq is one delayed-batching request awaiting its window.
 type pendingReq struct {
 	input string
+	ctx   context.Context
+	prio  runtime.Priority
 	reply chan batchReply
 }
 
@@ -52,16 +65,53 @@ type batchReply struct {
 
 // New builds a FrontEnd over a runtime.
 func New(rt *runtime.Runtime, cfg Config) *Server {
-	s := &Server{rt: rt, cfg: cfg, pending: make(map[string][]*pendingReq)}
+	s := &Server{rt: rt, cfg: cfg, start: time.Now(), pending: make(map[string][]*pendingReq)}
 	if cfg.CacheEntries > 0 {
 		s.cache = newPredCache(cfg.CacheEntries)
 	}
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("/predict", s.handlePredict)
-	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	s.mux.HandleFunc("POST /predict", s.handlePredict)
+	s.mux.HandleFunc("GET /models", s.handleModels)
+	s.mux.HandleFunc("POST /models", s.handleModelUpload)
+	s.mux.HandleFunc("GET /models/{name}", s.handleModelGet)
+	s.mux.HandleFunc("DELETE /models/{name}", s.handleModelDelete)
+	s.mux.HandleFunc("POST /models/{name}/labels", s.handleSetLabel)
+	s.mux.HandleFunc("GET /statz", s.handleStatz)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
 	return s
+}
+
+// statusFor maps the runtime's typed sentinel errors to HTTP codes.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, runtime.ErrModelNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, runtime.ErrDeadlineExceeded),
+		errors.Is(err, runtime.ErrCanceled),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, runtime.ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, runtime.ErrInvalidInput):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// mapCtxErr folds raw context errors (surfaced by the delayed-batching
+// buffer, outside the runtime) into the runtime's typed sentinels.
+func mapCtxErr(err error) error {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("%w (%v)", runtime.ErrDeadlineExceeded, err)
+	case errors.Is(err, context.Canceled):
+		return fmt.Errorf("%w (%v)", runtime.ErrCanceled, err)
+	}
+	return err
 }
 
 // ServeHTTP implements http.Handler.
@@ -73,6 +123,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 type Request struct {
 	Model string `json:"model"`
 	Input string `json:"input"`
+	// TimeoutMS bounds the request with a relative timeout.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// DeadlineUnixNS bounds the request with an absolute deadline in
+	// Unix nanoseconds (useful for propagating an upstream budget).
+	DeadlineUnixNS int64 `json:"deadline_unix_ns,omitempty"`
+	// Priority is "" / "normal" or "high" (batch-engine queue class).
+	Priority string `json:"priority,omitempty"`
 }
 
 // Response is the JSON prediction response body.
@@ -83,19 +140,31 @@ type Response struct {
 }
 
 // handlePredict decodes a request, serves it and encodes the response.
+// Typed runtime errors map to proper status codes: unknown model = 404,
+// expired deadline = 504, closed runtime = 503, invalid input = 400.
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
-		return
-	}
 	var req Request
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeJSON(w, http.StatusBadRequest, Response{Error: "bad request: " + err.Error()})
 		return
 	}
-	pred, cached, err := s.Predict(req.Model, req.Input)
+	ctx := r.Context()
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	var deadline time.Time
+	if req.DeadlineUnixNS > 0 {
+		deadline = time.Unix(0, req.DeadlineUnixNS)
+	}
+	prio := runtime.PriorityNormal
+	if req.Priority == "high" {
+		prio = runtime.PriorityHigh
+	}
+	pred, cached, err := s.predict(ctx, req.Model, req.Input, deadline, prio)
 	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, Response{Error: err.Error()})
+		writeJSON(w, statusFor(err), Response{Error: err.Error()})
 		return
 	}
 	writeJSON(w, http.StatusOK, Response{Prediction: pred, Cached: cached})
@@ -110,28 +179,62 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 // Predict serves one prediction through the configured path: result
 // cache, then delayed batching or the request-response engine.
 func (s *Server) Predict(model, input string) (pred []float32, cached bool, err error) {
+	return s.predict(context.Background(), model, input, time.Time{}, runtime.PriorityNormal)
+}
+
+// PredictCtx is Predict with a caller-supplied cancellation context.
+func (s *Server) PredictCtx(ctx context.Context, model, input string) (pred []float32, cached bool, err error) {
+	return s.predict(ctx, model, input, time.Time{}, runtime.PriorityNormal)
+}
+
+func (s *Server) predict(ctx context.Context, model, input string, deadline time.Time, prio runtime.Priority) (pred []float32, cached bool, err error) {
+	cacheKey := model
 	if s.cache != nil {
-		if p, ok := s.cache.get(model, input); ok {
+		// Key the result cache by the CONCRETE version the reference
+		// resolves to right now, so a label move (hot swap) or
+		// unregister is never masked by stale cached predictions.
+		name, version, rerr := s.rt.Resolve(model)
+		if rerr != nil {
+			return nil, false, rerr
+		}
+		cacheKey = fmt.Sprintf("%s@%d", name, version)
+		if p, ok := s.cache.get(cacheKey, input); ok {
 			return p, true, nil
 		}
 	}
 	if s.cfg.BatchDelay > 0 {
-		pred, err = s.predictDelayed(model, input)
+		// The buffered batch is shared, so per-request deadlines ride
+		// on the context: an expired request is shed at flush (or at
+		// admission) instead of poisoning the batch.
+		if !deadline.IsZero() {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithDeadline(ctx, deadline)
+			defer cancel()
+		}
+		pred, err = s.predictDelayed(ctx, model, input, prio)
 	} else {
-		pred, err = s.predictDirect(model, input)
+		pred, err = s.predictDirect(ctx, model, input, deadline, prio)
 	}
 	if err == nil && s.cache != nil {
-		s.cache.put(model, input, pred)
+		s.cache.put(cacheKey, input, pred)
 	}
 	return pred, false, err
 }
 
 // predictDirect uses the request-response engine inline.
-func (s *Server) predictDirect(model, input string) ([]float32, error) {
+func (s *Server) predictDirect(ctx context.Context, model, input string, deadline time.Time, prio runtime.Priority) ([]float32, error) {
 	in := vector.New(0)
 	in.SetText(input)
 	out := vector.New(0)
-	if err := s.rt.Predict(model, in, out); err != nil {
+	err := s.rt.PredictRequest(runtime.Request{
+		Ctx:      ctx,
+		Model:    model,
+		In:       in,
+		Out:      out,
+		Priority: prio,
+		Deadline: deadline,
+	})
+	if err != nil {
 		return nil, err
 	}
 	return append([]float32(nil), out.Dense...), nil
@@ -139,8 +242,11 @@ func (s *Server) predictDirect(model, input string) ([]float32, error) {
 
 // predictDelayed buffers the request; the model's window flusher submits
 // the whole buffer to the batch engine.
-func (s *Server) predictDelayed(model, input string) ([]float32, error) {
-	req := &pendingReq{input: input, reply: make(chan batchReply, 1)}
+func (s *Server) predictDelayed(ctx context.Context, model, input string, prio runtime.Priority) ([]float32, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, mapCtxErr(err)
+	}
+	req := &pendingReq{input: input, ctx: ctx, prio: prio, reply: make(chan batchReply, 1)}
 	s.mu.Lock()
 	s.pending[model] = append(s.pending[model], req)
 	if len(s.pending[model]) == 1 {
@@ -148,11 +254,19 @@ func (s *Server) predictDelayed(model, input string) ([]float32, error) {
 		go s.flushAfter(model)
 	}
 	s.mu.Unlock()
-	r := <-req.reply
-	return r.pred, r.err
+	select {
+	case r := <-req.reply:
+		return r.pred, r.err
+	case <-ctx.Done():
+		// The batch still runs (it is shared); only this waiter leaves.
+		return nil, mapCtxErr(ctx.Err())
+	}
 }
 
-// flushAfter waits the batching window and submits the buffer.
+// flushAfter waits the batching window and submits the whole buffer as
+// ONE batched job: every pipeline stage becomes a single event
+// processing all buffered records, paying scheduling overhead once per
+// stage instead of once per record — the point of delayed batching.
 func (s *Server) flushAfter(model string) {
 	time.Sleep(s.cfg.BatchDelay)
 	s.mu.Lock()
@@ -162,32 +276,37 @@ func (s *Server) flushAfter(model string) {
 	if len(batch) == 0 {
 		return
 	}
-	ins := make([]*vector.Vector, len(batch))
-	outs := make([]*vector.Vector, len(batch))
-	jobsErr := make([]error, len(batch))
-	for i, r := range batch {
+	// Requests whose context expired while buffered are answered
+	// immediately and excluded from the batch.
+	live := batch[:0]
+	prio := runtime.PriorityNormal
+	for _, r := range batch {
+		if err := r.ctx.Err(); err != nil {
+			r.reply <- batchReply{err: mapCtxErr(err)}
+			continue
+		}
+		if r.prio == runtime.PriorityHigh {
+			prio = runtime.PriorityHigh
+		}
+		live = append(live, r)
+	}
+	if len(live) == 0 {
+		return
+	}
+	ins := make([]*vector.Vector, len(live))
+	outs := make([]*vector.Vector, len(live))
+	for i, r := range live {
 		ins[i] = vector.New(0)
 		ins[i].SetText(r.input)
 		outs[i] = vector.New(0)
 	}
-	// Submit all jobs, then wait individually so one failure does not
-	// poison the batch.
-	type waiter interface{ Wait() error }
-	jobs := make([]waiter, len(batch))
-	for i := range batch {
-		j, err := s.rt.Submit(model, ins[i], outs[i])
+	// The batch is shared by many callers, so it runs under the
+	// background context: one caller's cancellation must not abort the
+	// other buffered requests. Any high-priority record promotes the
+	// whole batched job.
+	err := s.rt.PredictRequestBatch(runtime.BatchRequest{Model: model, Ins: ins, Outs: outs, Priority: prio})
+	for i, r := range live {
 		if err != nil {
-			jobsErr[i] = err
-			continue
-		}
-		jobs[i] = j
-	}
-	for i, r := range batch {
-		if jobsErr[i] != nil {
-			r.reply <- batchReply{err: jobsErr[i]}
-			continue
-		}
-		if err := jobs[i].Wait(); err != nil {
 			r.reply <- batchReply{err: err}
 			continue
 		}

@@ -19,7 +19,9 @@ import (
 	"pretzel/internal/text"
 )
 
-func saRuntime(t testing.TB) *runtime.Runtime {
+// saPipe builds a deterministic little SA pipeline for frontend tests;
+// bump differentiates model weights between versions.
+func saPipe(t testing.TB, name string, bump float32) *pipeline.Pipeline {
 	t.Helper()
 	cb, wb := text.NewDictBuilder(), text.NewDictBuilder()
 	for _, doc := range []string{"nice product great", "bad refund awful"} {
@@ -32,10 +34,10 @@ func saRuntime(t testing.TB) *runtime.Runtime {
 	cd, wd := cb.Build(0), wb.Build(0)
 	weights := make([]float32, cd.Size()+wd.Size())
 	if ix := wd.Lookup("nice"); ix >= 0 {
-		weights[cd.Size()+int(ix)] = 3
+		weights[cd.Size()+int(ix)] = 3 + bump
 	}
-	p := &pipeline.Pipeline{
-		Name:        "sa",
+	return &pipeline.Pipeline{
+		Name:        name,
 		InputSchema: schema.Text("Text"),
 		Nodes: []pipeline.Node{
 			{Op: &ops.Tokenizer{}, Inputs: []int{pipeline.InputID}},
@@ -45,10 +47,14 @@ func saRuntime(t testing.TB) *runtime.Runtime {
 			{Op: &ops.LinearPredictor{Model: &ml.LinearModel{Kind: ml.LogisticRegression, Weights: weights}}, Inputs: []int{3}},
 		},
 	}
+}
+
+func saRuntime(t testing.TB) *runtime.Runtime {
+	t.Helper()
 	objStore := store.New()
 	rt := runtime.New(objStore, runtime.Config{Executors: 2})
 	t.Cleanup(rt.Close)
-	pl, err := oven.Compile(p, objStore, oven.DefaultOptions())
+	pl, err := oven.Compile(saPipe(t, "sa", 0), objStore, oven.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,9 +90,9 @@ func TestHTTPPredict(t *testing.T) {
 	if len(out.Prediction) != 1 || out.Prediction[0] <= 0.5 {
 		t.Fatalf("prediction %v", out.Prediction)
 	}
-	// Unknown model.
+	// Unknown model maps to 404, not 500.
 	out, code = postPredict(t, srv, "nope", "x")
-	if code != http.StatusInternalServerError || out.Error == "" {
+	if code != http.StatusNotFound || out.Error == "" {
 		t.Fatalf("unknown model: code=%d out=%+v", code, out)
 	}
 	// Bad JSON.
@@ -159,7 +165,8 @@ func TestPredictionCacheEviction(t *testing.T) {
 }
 
 func TestDelayedBatching(t *testing.T) {
-	fe := New(saRuntime(t), Config{BatchDelay: 10 * time.Millisecond})
+	rt := saRuntime(t)
+	fe := New(rt, Config{BatchDelay: 10 * time.Millisecond})
 	const n = 16
 	var wg sync.WaitGroup
 	results := make([][]float32, n)
@@ -184,6 +191,11 @@ func TestDelayedBatching(t *testing.T) {
 	}
 	if elapsed < 10*time.Millisecond {
 		t.Fatalf("batching window not honoured: %v", elapsed)
+	}
+	// The window must flush as batched jobs (one per window), not one
+	// job per buffered record — the whole point of delayed batching.
+	if st := rt.SchedStats(); st.Submitted == 0 || st.Submitted >= n {
+		t.Fatalf("expected few batched jobs for %d records, scheduler saw %d", n, st.Submitted)
 	}
 	// Errors propagate per request.
 	if _, _, err := fe.Predict("missing", "x"); err == nil {

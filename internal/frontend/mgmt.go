@@ -1,0 +1,184 @@
+// Management plane of the FrontEnd: the white-box operator surface.
+// PRETZEL's pitch is that the serving system sees inside model plans;
+// these endpoints let operators see inside the server — per-stage
+// latency/execution counters, catalog sharing, pool and scheduler
+// state — and manage the versioned model lifecycle over HTTP:
+//
+//	GET    /models               list models, labels and versions
+//	GET    /models/{name}        one model with per-stage counters
+//	POST   /models               register from an uploaded zip
+//	DELETE /models/{name}        unregister (name, name@version, name@label)
+//	POST   /models/{name}/labels move a label (hot swap)
+//	GET    /statz                pool / catalog / scheduler / cache stats
+package frontend
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"pretzel/internal/oven"
+	"pretzel/internal/pipeline"
+	"pretzel/internal/runtime"
+	"pretzel/internal/sched"
+	"pretzel/internal/vector"
+)
+
+const defaultMaxUploadBytes = 64 << 20
+
+// errorBody is the uniform management-plane error response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	writeJSON(w, statusFor(err), errorBody{Error: err.Error()})
+}
+
+// ModelsResponse is the GET /models body.
+type ModelsResponse struct {
+	Models []runtime.ModelInfo `json:"models"`
+}
+
+// handleModels lists every registered model with labels and versions.
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, ModelsResponse{Models: s.rt.Models()})
+}
+
+// handleModelGet returns one model's white-box view, including the
+// per-stage latency and execution counters gathered by the executors.
+func (s *Server) handleModelGet(w http.ResponseWriter, r *http.Request) {
+	name, _ := runtime.SplitRef(r.PathValue("name"))
+	info, err := s.rt.ModelInfo(name)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// RegisterResponse is the POST /models success body.
+type RegisterResponse struct {
+	Name    string `json:"name"`
+	Version int    `json:"version"`
+	ID      uint64 `json:"id"`
+}
+
+// handleModelUpload registers a model from an uploaded zip (the format
+// exported by pretzel-train / pipeline.Export). Query parameters:
+//
+//	name    override the pipeline's embedded name
+//	version install as this version (default: next free)
+//	label   point this label at the new version after install
+func (s *Server) handleModelUpload(w http.ResponseWriter, r *http.Request) {
+	maxBytes := s.cfg.MaxUploadBytes
+	if maxBytes <= 0 {
+		maxBytes = defaultMaxUploadBytes
+	}
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBytes))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "reading upload: " + err.Error()})
+		return
+	}
+	p, err := pipeline.ImportBytes(raw)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "importing model: " + err.Error()})
+		return
+	}
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		name, _ = runtime.SplitRef(p.Name)
+	}
+	version := 0
+	if v := r.URL.Query().Get("version"); v != "" {
+		version, err = strconv.Atoi(v)
+		if err != nil || version <= 0 {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad version %q", v)})
+			return
+		}
+	}
+	opts := oven.DefaultOptions()
+	if s.cfg.CompileOptions != nil {
+		opts = *s.cfg.CompileOptions
+	}
+	pl, err := oven.Compile(p, s.rt.ObjectStore(), opts)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "compiling model: " + err.Error()})
+		return
+	}
+	reg, err := s.rt.RegisterVersion(pl, name, version)
+	if err != nil {
+		if errors.Is(err, runtime.ErrInvalidInput) {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
+		return
+	}
+	if label := r.URL.Query().Get("label"); label != "" {
+		if err := s.rt.SetLabel(name, label, reg.Version); err != nil {
+			writeErr(w, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusCreated, RegisterResponse{Name: reg.Name, Version: reg.Version, ID: reg.ID})
+}
+
+// handleModelDelete unregisters a model reference, draining in-flight
+// work first. A bare name removes every version; name@ref removes one.
+func (s *Server) handleModelDelete(w http.ResponseWriter, r *http.Request) {
+	ref := r.PathValue("name")
+	if err := s.rt.Unregister(ref); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": ref})
+}
+
+// LabelRequest is the POST /models/{name}/labels body.
+type LabelRequest struct {
+	Label   string `json:"label"`
+	Version int    `json:"version"`
+}
+
+// handleSetLabel atomically points a label at an installed version —
+// the HTTP face of the hot swap.
+func (s *Server) handleSetLabel(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req LabelRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request: " + err.Error()})
+		return
+	}
+	if err := s.rt.SetLabel(name, req.Label, req.Version); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"name": name, "label": req.Label, "version": req.Version})
+}
+
+// Statz is the GET /statz body: the server-wide white-box counters.
+type Statz struct {
+	UptimeSeconds float64              `json:"uptime_seconds"`
+	Catalog       runtime.CatalogStats `json:"catalog"`
+	RRPool        vector.PoolStats     `json:"rr_pool"`
+	BatchPool     vector.PoolStats     `json:"batch_pool"`
+	Sched         sched.Stats          `json:"sched"`
+	Cache         CacheStats           `json:"cache"`
+}
+
+// handleStatz reports pool, catalog, scheduler and cache statistics.
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, Statz{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Catalog:       s.rt.CatalogStats(),
+		RRPool:        s.rt.PoolStats(),
+		BatchPool:     s.rt.BatchPoolStats(),
+		Sched:         s.rt.SchedStats(),
+		Cache:         s.CacheStats(),
+	})
+}

@@ -2,6 +2,7 @@ package plan
 
 import (
 	"fmt"
+	"time"
 
 	"pretzel/internal/ml"
 	"pretzel/internal/ops"
@@ -262,6 +263,12 @@ func RunPlan(p *Plan, ec *Exec, in *vector.Vector, out *vector.Vector) error {
 	}
 	outputs[n-1] = out
 	for i, s := range p.Stages {
+		// Cancelled or deadline-expired requests stop here: the next
+		// stage kernel never runs (white-box deadline enforcement).
+		if err := ec.Cancelled(); err != nil {
+			releaseOutputs(ec, outputs, nInter)
+			return fmt.Errorf("plan %s: dropped before stage %d: %w", p.Name, i, err)
+		}
 		ins := ec.InsBuf()
 		for _, src := range s.Inputs {
 			if src == InputID {
@@ -294,16 +301,29 @@ func releaseOutputs(ec *Exec, outputs []*vector.Vector, nInter int) {
 }
 
 // runStage executes one stage, consulting the materialization cache for
-// cacheable stages.
+// cacheable stages and accounting the execution in the stage's
+// white-box counters.
 func runStage(s *Stage, ec *Exec, ins []*vector.Vector, out *vector.Vector) error {
 	kern := s.Kernel()
 	if kern == nil {
 		return fmt.Errorf("plan: stage %x has no kernel bound", s.ID)
 	}
+	start := time.Now()
+	err := runStageInner(s, kern, ec, ins, out)
+	s.metrics.nanos.Add(uint64(time.Since(start)))
+	s.metrics.execs.Add(1)
+	if err != nil {
+		s.metrics.errs.Add(1)
+	}
+	return err
+}
+
+func runStageInner(s *Stage, kern Kernel, ec *Exec, ins []*vector.Vector, out *vector.Vector) error {
 	if s.Materializable && ec.Cache != nil && len(ins) == 1 {
 		h := HashInput(ins[0])
 		if cached, ok := ec.Cache.Get(s.ID, h); ok {
 			out.CopyFrom(cached)
+			s.metrics.cacheHits.Add(1)
 			return nil
 		}
 		if err := kern.Run(ec, ins, out); err != nil {

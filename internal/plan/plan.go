@@ -7,10 +7,13 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"math"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"pretzel/internal/ops"
 	"pretzel/internal/store"
@@ -44,6 +47,16 @@ type Exec struct {
 
 	// Cache, when non-nil, enables sub-plan materialization (§4.3).
 	Cache *store.MatCache
+
+	// Ctx, when non-nil, is the request's cancellation source: RunPlan
+	// consults it before every stage so a cancelled or deadline-expired
+	// request never reaches another stage kernel.
+	Ctx context.Context
+
+	// DeadlineNS, when non-zero, is an absolute request deadline in
+	// Unix nanoseconds checked alongside Ctx (a plain comparison, so
+	// deadline enforcement costs no context allocation on the hot path).
+	DeadlineNS int64
 
 	// Scratch state reused across stage executions.
 	TokBuf  []byte
@@ -83,6 +96,29 @@ const minScratchShift = 6
 
 // Reset prepares the context for a fresh prediction.
 func (e *Exec) Reset() { e.Acc = 0 }
+
+// Cancelled reports why the in-flight request must stop: the context
+// error when Ctx is cancelled or expired, context.DeadlineExceeded when
+// DeadlineNS has passed, nil otherwise. Both checks are branch-cheap
+// when the request carries no cancellation state.
+func (e *Exec) Cancelled() error {
+	if e.Ctx != nil {
+		if err := e.Ctx.Err(); err != nil {
+			return err
+		}
+	}
+	if e.DeadlineNS != 0 && time.Now().UnixNano() > e.DeadlineNS {
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
+// ClearRequestState drops per-request cancellation state so a pooled
+// Exec never leaks one request's context into the next.
+func (e *Exec) ClearRequestState() {
+	e.Ctx = nil
+	e.DeadlineNS = 0
+}
 
 // Kernel is a physical stage implementation: an AOT-compiled parametric
 // computation unit. Kernels must be safe for concurrent Run calls (all
@@ -129,6 +165,54 @@ type Stage struct {
 	// scheduler skip accumulator handoff for stages that may run
 	// concurrently within a job.
 	UsesAcc bool
+
+	// metrics accumulates the stage's white-box execution counters,
+	// recorded by every executor that runs the stage (§4.1.2: the
+	// system sees inside plans, so operators can too).
+	metrics stageMetrics
+}
+
+// stageMetrics is the lock-free counter block of one stage.
+type stageMetrics struct {
+	execs     atomic.Uint64 // completed kernel executions (per record)
+	errs      atomic.Uint64 // executions that returned an error
+	cacheHits atomic.Uint64 // materialization-cache hits (no kernel run)
+	nanos     atomic.Uint64 // cumulative wall time across executions
+}
+
+// StageStats is a white-box snapshot of one stage's execution counters.
+type StageStats struct {
+	Execs      uint64 // executions, including cache-served ones
+	Errs       uint64 // executions that failed
+	CacheHits  uint64 // executions served from the materialization cache
+	TotalNanos uint64 // cumulative execution wall time
+}
+
+// AvgNanos returns the mean per-execution latency in nanoseconds.
+func (st StageStats) AvgNanos() uint64 {
+	if st.Execs == 0 {
+		return 0
+	}
+	return st.TotalNanos / st.Execs
+}
+
+// Stats returns a snapshot of the stage's execution counters.
+func (s *Stage) Stats() StageStats {
+	return StageStats{
+		Execs:      s.metrics.execs.Load(),
+		Errs:       s.metrics.errs.Load(),
+		CacheHits:  s.metrics.cacheHits.Load(),
+		TotalNanos: s.metrics.nanos.Load(),
+	}
+}
+
+// OpKinds lists the logical operator kinds fused into the stage.
+func (s *Stage) OpKinds() []string {
+	kinds := make([]string, len(s.Ops))
+	for i, op := range s.Ops {
+		kinds[i] = op.Info().Kind
+	}
+	return kinds
 }
 
 // Kernel returns the stage's physical implementation, binding it on first

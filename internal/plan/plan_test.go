@@ -1,8 +1,11 @@
 package plan
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"pretzel/internal/ml"
 	"pretzel/internal/ops"
@@ -300,5 +303,89 @@ func TestRunPlanSteadyStateAllocs(t *testing.T) {
 	// the runtime's map iteration internals.
 	if allocs > 1 {
 		t.Fatalf("RunPlan allocates %v per prediction", allocs)
+	}
+}
+
+// saMiniPlan builds a two-stage head/tail plan for plan-level tests.
+func saMiniPlan(t testing.TB) *Plan {
+	t.Helper()
+	cd, wd := saDicts(t)
+	wts := make([]float32, cd.Size()+wd.Size())
+	head := &SAHeadKernel{
+		Char:     text.CharNgramConfig{MinN: 2, MaxN: 3, Dict: cd},
+		Weights:  wts[:cd.Size()],
+		Tokenize: true,
+	}
+	tail := &SATailKernel{
+		Word:    text.WordNgramConfig{MaxN: 1, Dict: wd},
+		Weights: wts[cd.Size():],
+		Link:    ml.LogisticRegression,
+	}
+	return &Plan{
+		Name: "mini",
+		Stages: []*Stage{
+			{ID: 1, Ops: []ops.Op{&ops.Tokenizer{}}, Inputs: []int{InputID}, Kern: head, UsesAcc: true},
+			{ID: 2, Ops: []ops.Op{&ops.WordNgram{MaxN: 1, Dict: wd}}, Inputs: []int{0}, Kern: tail, UsesAcc: true},
+		},
+	}
+}
+
+// TestStageStatsRecorded: executors move the white-box counters.
+func TestStageStatsRecorded(t *testing.T) {
+	pl := saMiniPlan(t)
+	ec := &Exec{Pool: vector.NewPool()}
+	in, out := vector.New(0), vector.New(0)
+	for i := 0; i < 3; i++ {
+		in.SetText("a nice product")
+		if err := RunPlan(pl, ec, in, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, s := range pl.Stages {
+		st := s.Stats()
+		if st.Execs != 3 {
+			t.Fatalf("stage %d execs = %d", i, st.Execs)
+		}
+		if st.TotalNanos == 0 || st.AvgNanos() == 0 {
+			t.Fatalf("stage %d recorded no latency: %+v", i, st)
+		}
+		if st.Errs != 0 {
+			t.Fatalf("stage %d errs = %d", i, st.Errs)
+		}
+	}
+	if kinds := pl.Stages[0].OpKinds(); len(kinds) != 1 || kinds[0] == "" {
+		t.Fatalf("op kinds %v", kinds)
+	}
+}
+
+// TestRunPlanCancellation: an expired Exec context stops RunPlan before
+// the next stage kernel runs.
+func TestRunPlanCancellation(t *testing.T) {
+	pl := saMiniPlan(t)
+	ec := &Exec{Pool: vector.NewPool()}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ec.Ctx = ctx
+	in, out := vector.New(0), vector.New(0)
+	in.SetText("nice")
+	err := RunPlan(pl, ec, in, out)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	for i, s := range pl.Stages {
+		if st := s.Stats(); st.Execs != 0 {
+			t.Fatalf("stage %d ran despite cancellation", i)
+		}
+	}
+	// Deadline-only enforcement, no context at all.
+	ec.Ctx = nil
+	ec.DeadlineNS = time.Now().Add(-time.Second).UnixNano()
+	if err := RunPlan(pl, ec, in, out); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	// Cleared request state runs normally again.
+	ec.ClearRequestState()
+	if err := RunPlan(pl, ec, in, out); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,0 +1,240 @@
+// Request-path API of the Runtime: context-aware, deadline-enforcing
+// prediction requests with typed sentinel errors. The old
+// Predict/Submit signatures remain as thin wrappers.
+package runtime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"pretzel/internal/plan"
+	"pretzel/internal/sched"
+	"pretzel/internal/vector"
+)
+
+// Typed sentinel errors of the serving API. Callers classify failures
+// with errors.Is; the HTTP front end maps them to status codes.
+var (
+	// ErrModelNotFound reports a reference no installed model resolves.
+	ErrModelNotFound = errors.New("runtime: model not found")
+	// ErrDeadlineExceeded reports a request dropped because its context
+	// or deadline expired before completion.
+	ErrDeadlineExceeded = errors.New("runtime: deadline exceeded")
+	// ErrCanceled reports a request whose context was canceled.
+	ErrCanceled = errors.New("runtime: request canceled")
+	// ErrClosed reports a request against a closed runtime.
+	ErrClosed = errors.New("runtime: runtime closed")
+	// ErrInvalidInput reports a malformed request or registration.
+	ErrInvalidInput = errors.New("runtime: invalid input")
+)
+
+// Priority selects the batch-engine queue class for submitted requests.
+type Priority int8
+
+const (
+	// PriorityNormal enqueues head stages behind started pipelines.
+	PriorityNormal Priority = iota
+	// PriorityHigh lets a request's head stages jump the low-priority
+	// queue (latency-critical traffic).
+	PriorityHigh
+)
+
+// Request is one context-aware prediction request. Model accepts
+// "name", "name@version" or "name@label" references.
+type Request struct {
+	// Ctx carries cancellation; nil means context.Background().
+	Ctx context.Context
+	// Model is the model reference to serve.
+	Model string
+	// In and Out are the request input and output vectors.
+	In, Out *vector.Vector
+	// Priority selects the batch-engine queue class (Submit path only).
+	Priority Priority
+	// Deadline, when non-zero, is an absolute deadline enforced before
+	// every stage — cheaper than wrapping Ctx in context.WithDeadline
+	// on the hot path.
+	Deadline time.Time
+}
+
+// BatchRequest is a whole batch of records served as one job: every
+// pipeline stage becomes a single event processing all records.
+type BatchRequest struct {
+	Ctx       context.Context
+	Model     string
+	Ins, Outs []*vector.Vector
+	Priority  Priority
+	Deadline  time.Time
+}
+
+// Ticket is the handle of an asynchronously submitted request; Wait
+// blocks for completion and returns a typed error.
+type Ticket struct {
+	// Model is the resolved concrete reference ("name@version").
+	Model string
+	job   *sched.Job
+}
+
+// Wait blocks until the submitted request finishes.
+func (t *Ticket) Wait() error { return mapError(t.job.Wait()) }
+
+// mapError folds lower-layer failure causes into the API's typed
+// sentinels; unrecognized errors pass through unchanged.
+func mapError(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("%w (%v)", ErrDeadlineExceeded, err)
+	case errors.Is(err, context.Canceled):
+		return fmt.Errorf("%w (%v)", ErrCanceled, err)
+	case errors.Is(err, sched.ErrStopped):
+		return fmt.Errorf("%w (%v)", ErrClosed, err)
+	default:
+		return err
+	}
+}
+
+// deadlineNS validates a request deadline: ns is the absolute deadline
+// in Unix nanoseconds (0 = none) and err is ErrDeadlineExceeded when it
+// already passed.
+func deadlineNS(t time.Time) (ns int64, err error) {
+	if t.IsZero() {
+		return 0, nil
+	}
+	ns = t.UnixNano()
+	if time.Now().UnixNano() > ns {
+		return ns, fmt.Errorf("%w: deadline already passed", ErrDeadlineExceeded)
+	}
+	return ns, nil
+}
+
+// PredictRequest serves one request on the request-response engine:
+// execution is inlined in the calling goroutine (no scheduling
+// overhead; §4.2.1). Cancellation and deadline are checked before every
+// stage, so an expired request never reaches a stage kernel.
+func (rt *Runtime) PredictRequest(req Request) error {
+	if req.Model == "" || req.In == nil || req.Out == nil {
+		return fmt.Errorf("%w: model, in and out are required", ErrInvalidInput)
+	}
+	if rt.closed.Load() {
+		return ErrClosed
+	}
+	if req.Ctx != nil {
+		if err := req.Ctx.Err(); err != nil {
+			return mapError(err)
+		}
+	}
+	ns, err := deadlineNS(req.Deadline)
+	if err != nil {
+		return err
+	}
+	r, err := rt.acquire(req.Model)
+	if err != nil {
+		return err
+	}
+	defer r.release()
+	ec := rt.execPool.Get().(*plan.Exec)
+	ec.Ctx = req.Ctx
+	ec.DeadlineNS = ns
+	err = plan.RunPlan(r.Plan, ec, req.In, req.Out)
+	ec.ClearRequestState()
+	rt.execPool.Put(ec)
+	return mapError(err)
+}
+
+// SubmitRequest schedules one request on the batch engine and returns
+// its ticket; callers Wait on it. Expired requests are dropped before
+// any stage dispatch.
+func (rt *Runtime) SubmitRequest(req Request) (*Ticket, error) {
+	if req.In == nil || req.Out == nil {
+		return nil, fmt.Errorf("%w: in and out are required", ErrInvalidInput)
+	}
+	return rt.SubmitRequestBatch(BatchRequest{
+		Ctx:      req.Ctx,
+		Model:    req.Model,
+		Ins:      []*vector.Vector{req.In},
+		Outs:     []*vector.Vector{req.Out},
+		Priority: req.Priority,
+		Deadline: req.Deadline,
+	})
+}
+
+// SubmitRequestBatch schedules a whole batch of records as one job on
+// the batch engine and returns its ticket.
+func (rt *Runtime) SubmitRequestBatch(req BatchRequest) (*Ticket, error) {
+	if req.Model == "" {
+		return nil, fmt.Errorf("%w: model is required", ErrInvalidInput)
+	}
+	if len(req.Ins) == 0 || len(req.Ins) != len(req.Outs) {
+		return nil, fmt.Errorf("%w: batch ins/outs mismatch (%d/%d)", ErrInvalidInput, len(req.Ins), len(req.Outs))
+	}
+	if rt.closed.Load() {
+		return nil, ErrClosed
+	}
+	ns, err := deadlineNS(req.Deadline)
+	if err != nil {
+		return nil, err
+	}
+	r, err := rt.acquire(req.Model)
+	if err != nil {
+		return nil, err
+	}
+	j := sched.NewBatchJob(r.Plan, req.Ins, req.Outs, rt.matCache)
+	if req.Ctx != nil {
+		j.SetContext(req.Ctx)
+	}
+	if ns != 0 {
+		j.SetDeadline(req.Deadline)
+	}
+	j.SetHighPriority(req.Priority == PriorityHigh)
+	// The version stays pinned (Unregister drains it) until the job
+	// finishes, even if the caller never Waits.
+	j.SetOnDone(func(error) { r.release() })
+	rt.sched.Submit(j)
+	return &Ticket{Model: fmt.Sprintf("%s@%d", r.Name, r.Version), job: j}, nil
+}
+
+// PredictRequestBatch serves a batch request and waits for completion.
+func (rt *Runtime) PredictRequestBatch(req BatchRequest) error {
+	t, err := rt.SubmitRequestBatch(req)
+	if err != nil {
+		return err
+	}
+	return t.Wait()
+}
+
+// --- compatibility wrappers (pre-Request API) ---
+
+// Predict serves one request on the request-response engine.
+func (rt *Runtime) Predict(name string, in, out *vector.Vector) error {
+	return rt.PredictRequest(Request{Model: name, In: in, Out: out})
+}
+
+// Submit schedules one prediction on the batch engine and returns the
+// job; callers Wait on it. Prefer SubmitRequest for typed errors.
+func (rt *Runtime) Submit(name string, in, out *vector.Vector) (*sched.Job, error) {
+	t, err := rt.SubmitRequest(Request{Model: name, In: in, Out: out})
+	if err != nil {
+		return nil, err
+	}
+	return t.job, nil
+}
+
+// SubmitBatch schedules a whole batch of records as one job: every
+// pipeline stage becomes a single event processing all records (the
+// batch engine's unit of work).
+func (rt *Runtime) SubmitBatch(name string, ins, outs []*vector.Vector) (*sched.Job, error) {
+	t, err := rt.SubmitRequestBatch(BatchRequest{Model: name, Ins: ins, Outs: outs})
+	if err != nil {
+		return nil, err
+	}
+	return t.job, nil
+}
+
+// PredictBatch serves a batch of records through the batch engine and
+// waits for completion.
+func (rt *Runtime) PredictBatch(name string, ins, outs []*vector.Vector) error {
+	return rt.PredictRequestBatch(BatchRequest{Model: name, Ins: ins, Outs: outs})
+}

@@ -6,18 +6,33 @@
 //     into the calling goroutine (lowest latency, no scheduling overhead);
 //   - the batch engine, which forwards stage events to the Scheduler so
 //     many plans can share executors at high utilization.
+//
+// Models are versioned: Register installs "name@version", labels
+// ("stable", "canary", …) alias a version, and references anywhere in
+// the serving API accept "name", "name@version" or "name@label". Label
+// moves are atomic — in-flight requests finish on the version they
+// resolved, new requests see the new version — and Unregister drains
+// in-flight work before returning.
 package runtime
 
 import (
 	"fmt"
 	goruntime "runtime"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 
 	"pretzel/internal/plan"
 	"pretzel/internal/sched"
 	"pretzel/internal/store"
 	"pretzel/internal/vector"
 )
+
+// LabelStable is the label bare-name references resolve through. The
+// first registered version of a model receives it automatically.
+const LabelStable = "stable"
 
 // Config parameterizes a Runtime.
 type Config struct {
@@ -38,10 +53,36 @@ type Config struct {
 	PoolShards int
 }
 
-// Registered is a plan installed in the runtime.
+// Registered is one installed version of a model.
 type Registered struct {
-	ID   uint64
-	Plan *plan.Plan
+	ID      uint64
+	Name    string // bare model name
+	Version int
+	Plan    *plan.Plan
+
+	// inflight tracks requests resolved to this version; Unregister
+	// waits for it to drain after unlinking the version.
+	inflight sync.WaitGroup
+}
+
+// release ends one in-flight request against this version.
+func (r *Registered) release() { r.inflight.Done() }
+
+// model groups the installed versions of one name with its labels.
+type model struct {
+	versions map[int]*Registered
+	labels   map[string]int
+}
+
+// latest returns the highest installed version (0 when empty).
+func (m *model) latest() int {
+	max := 0
+	for v := range m.versions {
+		if v > max {
+			max = v
+		}
+	}
+	return max
 }
 
 // Runtime hosts registered plans and serves predictions.
@@ -52,12 +93,14 @@ type Runtime struct {
 	sched    *sched.Scheduler
 
 	mu      sync.RWMutex
-	plans   map[string]*Registered
+	models  map[string]*model
 	nextID  uint64
 	catalog map[uint64]plan.Kernel
 
 	catalogHits   uint64
 	catalogMisses uint64
+
+	closed atomic.Bool
 
 	// rrPool supplies vectors to the request-response engine.
 	rrPool   *vector.Pool
@@ -69,7 +112,7 @@ func New(objStore *store.ObjectStore, cfg Config) *Runtime {
 	rt := &Runtime{
 		cfg:      cfg,
 		objStore: objStore,
-		plans:    make(map[string]*Registered),
+		models:   make(map[string]*model),
 		catalog:  make(map[uint64]plan.Kernel),
 	}
 	if cfg.MatCacheBytes > 0 {
@@ -113,18 +156,162 @@ func (rt *Runtime) PoolStats() vector.PoolStats { return rt.rrPool.Stats() }
 // BatchPoolStats aggregates the batch-engine executor pool counters.
 func (rt *Runtime) BatchPoolStats() vector.PoolStats { return rt.sched.PoolStats() }
 
-// Register installs a compiled plan: physical stages already present in
-// the system catalog (same stage ID) are shared — the plan's stage is
-// rewired to the canonical kernel instance, so similar plans share both
-// parameters (via the Object Store) and code (via the catalog).
+// SchedStats returns the batch-engine scheduler's job accounting.
+func (rt *Runtime) SchedStats() sched.Stats { return rt.sched.Stats() }
+
+// --- model references ---
+
+// SplitRef splits a model reference "name[@ref]" into the bare name and
+// the version-or-label part ("" when absent).
+func SplitRef(s string) (name, ref string) {
+	if i := strings.LastIndexByte(s, '@'); i >= 0 {
+		return s[:i], s[i+1:]
+	}
+	return s, ""
+}
+
+// parseVersion interprets a ref as an explicit version number ("2" or
+// "v2"); ok=false means the ref is a label.
+func parseVersion(ref string) (int, bool) {
+	r := strings.TrimPrefix(ref, "v")
+	n, err := strconv.Atoi(r)
+	if err != nil || n <= 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// resolveLocked resolves (name, ref) to an installed version. The
+// caller holds rt.mu (read or write).
+func (rt *Runtime) resolveLocked(name, ref string) (*Registered, error) {
+	m, ok := rt.models[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrModelNotFound, name)
+	}
+	var v int
+	switch {
+	case ref == "":
+		if lv, ok := m.labels[LabelStable]; ok {
+			v = lv
+		} else if len(m.versions) == 1 {
+			// No stable label (it was unregistered with its version)
+			// but only one version exists: unambiguous.
+			v = m.latest()
+		} else {
+			// Never fall back to latest() across multiple versions: it
+			// would silently promote an unlabeled canary. Rollout stays
+			// opt-in — the operator must move a label.
+			return nil, fmt.Errorf("%w: %q has no %q label; reference an explicit version or label", ErrModelNotFound, name, LabelStable)
+		}
+	default:
+		if n, isNum := parseVersion(ref); isNum {
+			v = n
+		} else if lv, ok := m.labels[ref]; ok {
+			v = lv
+		} else {
+			return nil, fmt.Errorf("%w: %q has no version or label %q", ErrModelNotFound, name, ref)
+		}
+	}
+	r, ok := m.versions[v]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q has no version %d", ErrModelNotFound, name, v)
+	}
+	return r, nil
+}
+
+// acquire resolves a model reference and marks one request in flight
+// against the resolved version; the caller must release() it.
+func (rt *Runtime) acquire(ref string) (*Registered, error) {
+	name, rest := SplitRef(ref)
+	rt.mu.RLock()
+	r, err := rt.resolveLocked(name, rest)
+	if err == nil {
+		r.inflight.Add(1)
+	}
+	rt.mu.RUnlock()
+	return r, err
+}
+
+// Resolve resolves a model reference without serving traffic: it
+// returns the bare name and the concrete version a request would hit.
+func (rt *Runtime) Resolve(ref string) (name string, version int, err error) {
+	name, rest := SplitRef(ref)
+	rt.mu.RLock()
+	r, err := rt.resolveLocked(name, rest)
+	rt.mu.RUnlock()
+	if err != nil {
+		return "", 0, err
+	}
+	return r.Name, r.Version, nil
+}
+
+// LookupPlan returns the compiled plan a model reference resolves to.
+func (rt *Runtime) LookupPlan(ref string) (*plan.Plan, error) {
+	name, rest := SplitRef(ref)
+	rt.mu.RLock()
+	r, err := rt.resolveLocked(name, rest)
+	rt.mu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	return r.Plan, nil
+}
+
+// --- lifecycle ---
+
+// Register installs a compiled plan. The plan name may carry an
+// explicit version ("sa@2"); a bare name installs version 1 and refuses
+// duplicates (use RegisterVersion or "name@version" to add versions).
+// Physical stages already present in the system catalog (same stage ID)
+// are shared — the plan's stage is rewired to the canonical kernel
+// instance, so similar plans share both parameters (via the Object
+// Store) and code (via the catalog).
 func (rt *Runtime) Register(p *plan.Plan) (uint64, error) {
-	if err := p.Validate(); err != nil {
+	name, ref := SplitRef(p.Name)
+	version := 0
+	if ref != "" {
+		v, ok := parseVersion(ref)
+		if !ok {
+			return 0, fmt.Errorf("%w: %q is not a version (labels are assigned with SetLabel)", ErrInvalidInput, p.Name)
+		}
+		version = v
+	}
+	r, err := rt.register(p, name, version, ref == "")
+	if err != nil {
 		return 0, err
+	}
+	return r.ID, nil
+}
+
+// RegisterVersion installs a compiled plan as name@version. version<=0
+// picks the next free version. The first version of a model receives
+// the "stable" label; later versions serve only via explicit reference
+// until a label is moved to them (SetLabel), so rollout is opt-in.
+func (rt *Runtime) RegisterVersion(p *plan.Plan, name string, version int) (*Registered, error) {
+	return rt.register(p, name, version, false)
+}
+
+func (rt *Runtime) register(p *plan.Plan, name string, version int, requireNewModel bool) (*Registered, error) {
+	if name == "" {
+		return nil, fmt.Errorf("%w: empty model name", ErrInvalidInput)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidInput, err)
 	}
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	if _, dup := rt.plans[p.Name]; dup {
-		return 0, fmt.Errorf("runtime: plan %q already registered", p.Name)
+	m, exists := rt.models[name]
+	if exists && requireNewModel {
+		return nil, fmt.Errorf("runtime: model %q already registered (register %s@<version> to add a version)", name, name)
+	}
+	if !exists {
+		m = &model{versions: make(map[int]*Registered), labels: make(map[string]int)}
+	}
+	if version <= 0 {
+		version = m.latest() + 1
+	}
+	if _, dup := m.versions[version]; dup {
+		return nil, fmt.Errorf("runtime: model %s@%d already registered", name, version)
 	}
 	for _, s := range p.Stages {
 		if k, ok := rt.catalog[s.ID]; ok {
@@ -139,38 +326,94 @@ func (rt *Runtime) Register(p *plan.Plan) (uint64, error) {
 		rt.catalogMisses++
 	}
 	rt.nextID++
-	rt.plans[p.Name] = &Registered{ID: rt.nextID, Plan: p}
-	return rt.nextID, nil
-}
-
-// Unregister removes a plan from the runtime. Catalog entries are kept
-// (other plans may share them); parameters are released from the Object
-// Store by the caller if desired.
-func (rt *Runtime) Unregister(name string) {
-	rt.mu.Lock()
-	delete(rt.plans, name)
-	rt.mu.Unlock()
-}
-
-// lookup fetches a registered plan.
-func (rt *Runtime) lookup(name string) (*Registered, error) {
-	rt.mu.RLock()
-	r, ok := rt.plans[name]
-	rt.mu.RUnlock()
-	if !ok {
-		return nil, fmt.Errorf("runtime: plan %q not registered", name)
+	r := &Registered{ID: rt.nextID, Name: name, Version: version, Plan: p}
+	m.versions[version] = r
+	if len(m.versions) == 1 {
+		m.labels[LabelStable] = version
 	}
+	rt.models[name] = m
 	return r, nil
 }
 
-// Names lists registered plan names.
+// SetLabel atomically points a label ("stable", "canary", …) at an
+// installed version: requests resolving through the label switch to the
+// new version, while requests already in flight finish on the version
+// they resolved — a zero-downtime hot swap.
+func (rt *Runtime) SetLabel(name, label string, version int) error {
+	if label == "" {
+		return fmt.Errorf("%w: empty label", ErrInvalidInput)
+	}
+	if _, isNum := parseVersion(label); isNum {
+		return fmt.Errorf("%w: label %q would shadow a version number", ErrInvalidInput, label)
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	m, ok := rt.models[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrModelNotFound, name)
+	}
+	if _, ok := m.versions[version]; !ok {
+		return fmt.Errorf("%w: %q has no version %d", ErrModelNotFound, name, version)
+	}
+	m.labels[label] = version
+	return nil
+}
+
+// Unregister removes a model reference and drains its in-flight work
+// before returning: a bare name removes every version; "name@ref"
+// removes one version (and any labels pointing at it). Unknown names
+// and versions return ErrModelNotFound. Catalog entries are kept (other
+// plans may share them); parameters are released from the Object Store
+// by the caller if desired.
+func (rt *Runtime) Unregister(ref string) error {
+	name, rest := SplitRef(ref)
+	rt.mu.Lock()
+	m, ok := rt.models[name]
+	if !ok {
+		rt.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrModelNotFound, name)
+	}
+	var drain []*Registered
+	if rest == "" {
+		for _, r := range m.versions {
+			drain = append(drain, r)
+		}
+		delete(rt.models, name)
+	} else {
+		r, err := rt.resolveLocked(name, rest)
+		if err != nil {
+			rt.mu.Unlock()
+			return err
+		}
+		delete(m.versions, r.Version)
+		for l, v := range m.labels {
+			if v == r.Version {
+				delete(m.labels, l)
+			}
+		}
+		if len(m.versions) == 0 {
+			delete(rt.models, name)
+		}
+		drain = append(drain, r)
+	}
+	rt.mu.Unlock()
+	// New requests can no longer resolve the removed versions; wait for
+	// the ones that already did.
+	for _, r := range drain {
+		r.inflight.Wait()
+	}
+	return nil
+}
+
+// Names lists registered model names (bare, without versions), sorted.
 func (rt *Runtime) Names() []string {
 	rt.mu.RLock()
 	defer rt.mu.RUnlock()
-	out := make([]string, 0, len(rt.plans))
-	for n := range rt.plans {
+	out := make([]string, 0, len(rt.models))
+	for n := range rt.models {
 		out = append(out, n)
 	}
+	sort.Strings(out)
 	return out
 }
 
@@ -178,79 +421,136 @@ func (rt *Runtime) Names() []string {
 type CatalogStats struct {
 	Hits, Misses uint64
 	Kernels      int
-	Plans        int
+	Plans        int // installed versions across all models
+	Models       int // distinct model names
 }
 
 // CatalogStats returns a snapshot of catalog counters.
 func (rt *Runtime) CatalogStats() CatalogStats {
 	rt.mu.RLock()
 	defer rt.mu.RUnlock()
+	plans := 0
+	for _, m := range rt.models {
+		plans += len(m.versions)
+	}
 	return CatalogStats{
 		Hits:    rt.catalogHits,
 		Misses:  rt.catalogMisses,
 		Kernels: len(rt.catalog),
-		Plans:   len(rt.plans),
+		Plans:   plans,
+		Models:  len(rt.models),
 	}
 }
 
-// Predict serves one request on the request-response engine: execution
-// is inlined in the calling goroutine (no scheduling overhead; §4.2.1).
-func (rt *Runtime) Predict(name string, in, out *vector.Vector) error {
-	r, err := rt.lookup(name)
-	if err != nil {
-		return err
-	}
-	ec := rt.execPool.Get().(*plan.Exec)
-	err = plan.RunPlan(r.Plan, ec, in, out)
-	rt.execPool.Put(ec)
-	return err
+// --- white-box model introspection ---
+
+// StageInfo is the white-box view of one plan stage: its physical
+// kernel, the fused logical operators, and the execution counters
+// gathered by the executors.
+type StageInfo struct {
+	Index      int      `json:"index"`
+	Kernel     string   `json:"kernel"`
+	Ops        []string `json:"ops"`
+	Execs      uint64   `json:"execs"`
+	Errs       uint64   `json:"errs"`
+	CacheHits  uint64   `json:"cache_hits"`
+	TotalNanos uint64   `json:"total_ns"`
+	AvgNanos   uint64   `json:"avg_ns"`
 }
 
-// Submit schedules one prediction on the batch engine and returns the
-// job; callers Wait on it.
-func (rt *Runtime) Submit(name string, in, out *vector.Vector) (*sched.Job, error) {
-	r, err := rt.lookup(name)
-	if err != nil {
-		return nil, err
-	}
-	j := sched.NewJob(r.Plan, in, out, rt.matCache)
-	rt.sched.Submit(j)
-	return j, nil
+// VersionInfo describes one installed version of a model.
+type VersionInfo struct {
+	Version int         `json:"version"`
+	ID      uint64      `json:"id"`
+	Stages  []StageInfo `json:"stages"`
 }
 
-// SubmitBatch schedules a whole batch of records as one job: every
-// pipeline stage becomes a single event processing all records (the
-// batch engine's unit of work).
-func (rt *Runtime) SubmitBatch(name string, ins, outs []*vector.Vector) (*sched.Job, error) {
-	if len(ins) != len(outs) {
-		return nil, fmt.Errorf("runtime: batch ins/outs mismatch (%d/%d)", len(ins), len(outs))
-	}
-	r, err := rt.lookup(name)
-	if err != nil {
-		return nil, err
-	}
-	j := sched.NewBatchJob(r.Plan, ins, outs, rt.matCache)
-	rt.sched.Submit(j)
-	return j, nil
+// ModelInfo describes one model: its labels and installed versions.
+type ModelInfo struct {
+	Name     string         `json:"name"`
+	Labels   map[string]int `json:"labels"`
+	Versions []VersionInfo  `json:"versions"`
 }
 
-// PredictBatch serves a batch of records through the batch engine and
-// waits for completion.
-func (rt *Runtime) PredictBatch(name string, ins, outs []*vector.Vector) error {
-	j, err := rt.SubmitBatch(name, ins, outs)
-	if err != nil {
-		return err
+func stageInfos(p *plan.Plan) []StageInfo {
+	out := make([]StageInfo, len(p.Stages))
+	for i, s := range p.Stages {
+		kind := ""
+		if s.Kern != nil {
+			kind = s.Kern.Kind()
+		}
+		st := s.Stats()
+		out[i] = StageInfo{
+			Index:      i,
+			Kernel:     kind,
+			Ops:        s.OpKinds(),
+			Execs:      st.Execs,
+			Errs:       st.Errs,
+			CacheHits:  st.CacheHits,
+			TotalNanos: st.TotalNanos,
+			AvgNanos:   st.AvgNanos(),
+		}
 	}
-	return j.Wait()
+	return out
+}
+
+func (m *model) info(name string) ModelInfo {
+	mi := ModelInfo{Name: name, Labels: make(map[string]int, len(m.labels))}
+	for l, v := range m.labels {
+		mi.Labels[l] = v
+	}
+	versions := make([]int, 0, len(m.versions))
+	for v := range m.versions {
+		versions = append(versions, v)
+	}
+	sort.Ints(versions)
+	for _, v := range versions {
+		r := m.versions[v]
+		mi.Versions = append(mi.Versions, VersionInfo{
+			Version: v,
+			ID:      r.ID,
+			Stages:  stageInfos(r.Plan),
+		})
+	}
+	return mi
+}
+
+// Models returns the white-box view of every registered model, sorted
+// by name.
+func (rt *Runtime) Models() []ModelInfo {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	out := make([]ModelInfo, 0, len(rt.models))
+	names := make([]string, 0, len(rt.models))
+	for n := range rt.models {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		out = append(out, rt.models[n].info(n))
+	}
+	return out
+}
+
+// ModelInfo returns the white-box view of one model by bare name.
+func (rt *Runtime) ModelInfo(name string) (ModelInfo, error) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	m, ok := rt.models[name]
+	if !ok {
+		return ModelInfo{}, fmt.Errorf("%w: %q", ErrModelNotFound, name)
+	}
+	return m.info(name), nil
 }
 
 // Reserve dedicates cores (and their vector pools) to one plan
 // (reservation-based scheduling, §4.2.2).
-func (rt *Runtime) Reserve(name string, cores int) error {
-	if _, err := rt.lookup(name); err != nil {
+func (rt *Runtime) Reserve(ref string, cores int) error {
+	p, err := rt.LookupPlan(ref)
+	if err != nil {
 		return err
 	}
-	return rt.sched.Reserve(name, cores)
+	return rt.sched.Reserve(p.Name, cores)
 }
 
 // MemBytes estimates the runtime memory footprint: unique parameters in
@@ -263,19 +563,23 @@ func (rt *Runtime) MemBytes() int {
 	if rt.objStore != nil {
 		total += rt.objStore.MemBytes()
 		// Plan skeletons: stages + wiring, parameters counted once above.
-		for _, r := range rt.plans {
-			total += 256 + 128*len(r.Plan.Stages)
+		for _, m := range rt.models {
+			for _, r := range m.versions {
+				total += 256 + 128*len(r.Plan.Stages)
+			}
 		}
 		return total
 	}
 	// Without an Object Store every plan holds its own parameter copies.
-	for _, r := range rt.plans {
-		total += 256
-		for _, s := range r.Plan.Stages {
-			total += 128
-			for _, op := range s.Ops {
-				for _, p := range op.Params() {
-					total += p.MemBytes()
+	for _, m := range rt.models {
+		for _, r := range m.versions {
+			total += 256
+			for _, s := range r.Plan.Stages {
+				total += 128
+				for _, op := range s.Ops {
+					for _, p := range op.Params() {
+						total += p.MemBytes()
+					}
 				}
 			}
 		}
@@ -283,5 +587,10 @@ func (rt *Runtime) MemBytes() int {
 	return total
 }
 
-// Close stops the batch engine.
-func (rt *Runtime) Close() { rt.sched.Close() }
+// Close stops the batch engine; subsequent requests fail with ErrClosed.
+func (rt *Runtime) Close() {
+	if !rt.closed.CompareAndSwap(false, true) {
+		return
+	}
+	rt.sched.Close()
+}

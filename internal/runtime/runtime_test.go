@@ -149,14 +149,23 @@ func TestCatalogSharing(t *testing.T) {
 	if st2.Hits != st.Hits+1 {
 		t.Fatalf("head should share, tail should not: %+v", st2)
 	}
-	cPlan := rt.plans["c"].Plan
-	aPlan := rt.plans["a"].Plan
+	cPlan, err := rt.LookupPlan("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	aPlan, err := rt.LookupPlan("a")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if cPlan.Stages[1].Kern == aPlan.Stages[1].Kern {
 		t.Fatal("tail kernels with different weights must not be shared")
 	}
 	// Shared kernel instances must actually be the same object.
-	a := rt.plans["a"].Plan
-	b := rt.plans["b"].Plan
+	a := aPlan
+	b, err := rt.LookupPlan("b")
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range a.Stages {
 		if a.Stages[i].Kern != b.Stages[i].Kern {
 			t.Fatalf("stage %d kernel not shared", i)

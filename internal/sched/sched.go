@@ -12,14 +12,21 @@
 package sched
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pretzel/internal/plan"
 	"pretzel/internal/store"
 	"pretzel/internal/vector"
 )
+
+// ErrStopped reports a job submitted to (or stranded in) a scheduler
+// that has been closed.
+var ErrStopped = errors.New("sched: scheduler stopped")
 
 // Job is one pipeline invocation — for one record or a whole batch —
 // scheduled stage-by-stage. A batched job moves all its records through
@@ -44,7 +51,16 @@ type Job struct {
 	errOnce sync.Once
 	err     error
 
+	// Request-scoped lifecycle state: cancellation source, absolute
+	// deadline, queue priority and a completion hook. Set between
+	// NewJob and Submit; immutable afterwards.
+	ctx        context.Context
+	deadlineNS int64
+	highPrio   bool
+	onDone     func(error)
+
 	done     chan error
+	doneOnce sync.Once
 	poolOnce sync.Once
 }
 
@@ -81,12 +97,52 @@ func NewBatchJob(p *plan.Plan, ins, outs []*vector.Vector, cache *store.MatCache
 // Wait blocks until the job finishes and returns its error.
 func (j *Job) Wait() error { return <-j.done }
 
+// SetContext attaches a cancellation source consulted before every
+// stage dispatch: expired jobs are dropped without touching a kernel.
+// Must be called before Submit.
+func (j *Job) SetContext(ctx context.Context) { j.ctx = ctx }
+
+// SetDeadline attaches an absolute deadline checked alongside the
+// context (zero time = none). Must be called before Submit.
+func (j *Job) SetDeadline(t time.Time) {
+	if t.IsZero() {
+		j.deadlineNS = 0
+		return
+	}
+	j.deadlineNS = t.UnixNano()
+}
+
+// SetHighPriority enqueues the job's head stages on the high-priority
+// queues, letting latency-critical requests jump ahead of newly
+// submitted bulk pipelines. Must be called before Submit.
+func (j *Job) SetHighPriority(high bool) { j.highPrio = high }
+
+// SetOnDone registers a hook invoked exactly once when the job
+// finishes (nil error on success). Must be called before Submit.
+func (j *Job) SetOnDone(fn func(error)) { j.onDone = fn }
+
+// expired reports the job's cancellation cause, nil while live.
+func (j *Job) expired() error {
+	if j.ctx != nil {
+		if err := j.ctx.Err(); err != nil {
+			return err
+		}
+	}
+	if j.deadlineNS != 0 && time.Now().UnixNano() > j.deadlineNS {
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
 // fail records the first error; later stages of the job are skipped.
-func (j *Job) fail(err error) {
+// Reports whether this call was the one that failed the job.
+func (j *Job) fail(err error) (first bool) {
 	j.errOnce.Do(func() {
 		j.err = err
 		j.failed.Store(true)
+		first = true
 	})
+	return first
 }
 
 // event is one stage execution bound to a job.
@@ -336,8 +392,42 @@ type Scheduler struct {
 	reservations map[string]*queueSet
 	pools        []*vector.Pool // every executor-owned pool, for stats
 
+	// White-box job accounting (Stats).
+	submitted atomic.Uint64
+	completed atomic.Uint64
+	failedCnt atomic.Uint64
+	expired   atomic.Uint64
+
 	closed atomic.Bool
 	wg     sync.WaitGroup
+}
+
+// Stats is a white-box snapshot of the scheduler's job accounting.
+// Expired jobs (dropped before stage dispatch because their context or
+// deadline ran out) are also counted as Failed.
+type Stats struct {
+	Submitted uint64 `json:"submitted"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Expired   uint64 `json:"expired"`
+
+	Executors    int `json:"executors"`
+	Reservations int `json:"reservations"`
+}
+
+// Stats returns a snapshot of the scheduler's job counters.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	nres := len(s.reservations)
+	s.mu.Unlock()
+	return Stats{
+		Submitted:    s.submitted.Load(),
+		Completed:    s.completed.Load(),
+		Failed:       s.failedCnt.Load(),
+		Expired:      s.expired.Load(),
+		Executors:    s.cfg.Executors,
+		Reservations: nres,
+	}
 }
 
 // New starts a scheduler with the given configuration.
@@ -421,17 +511,28 @@ func (s *Scheduler) queuesFor(planName string) *queueSet {
 }
 
 // Submit enqueues a job: its head stages (those depending only on the
-// request input) enter one round-robin-chosen shard's low-priority
-// queue in a single lock round-trip.
+// request input) enter one round-robin-chosen shard's queue in a single
+// lock round-trip — low priority by default, high for jobs marked
+// latency-critical. Already-expired jobs are dropped without touching
+// the queues at all.
 func (s *Scheduler) Submit(j *Job) {
+	s.submitted.Add(1)
+	if err := j.expired(); err != nil {
+		s.expired.Add(1)
+		s.failedCnt.Add(1)
+		j.fail(fmt.Errorf("sched: plan %s dropped before dispatch: %w", j.Plan.Name, err))
+		j.finish()
+		return
+	}
 	qs := s.queuesFor(j.Plan.Name)
 	var evBuf [4]event
 	evs := evBuf[:0]
 	for _, i := range j.heads {
 		evs = append(evs, event{job: j, stage: i})
 	}
-	if !qs.pushN(evs, false, qs.cursor.Add(1)) {
-		j.fail(fmt.Errorf("sched: scheduler stopped"))
+	if !qs.pushN(evs, j.highPrio, qs.cursor.Add(1)) {
+		s.failedCnt.Add(1)
+		j.fail(ErrStopped)
 		j.finish()
 	}
 }
@@ -473,6 +574,16 @@ func (s *Scheduler) executor(qs *queueSet, idx int, pool *vector.Pool) {
 // chains, so the handoff never races with a concurrent sibling stage).
 func (s *Scheduler) exec(ev event, ec *plan.Exec, qs *queueSet, idx int) {
 	j := ev.job
+	// Drop expired jobs before stage dispatch: a cancelled or
+	// deadline-exceeded request never reaches a stage kernel; its
+	// remaining stages drain through the skip path below.
+	if !j.failed.Load() {
+		if err := j.expired(); err != nil {
+			if j.fail(fmt.Errorf("sched: plan %s dropped before stage %d: %w", j.Plan.Name, ev.stage, err)) {
+				s.expired.Add(1)
+			}
+		}
+	}
 	if !j.failed.Load() {
 		// Vectors are requested per pipeline, lazily, when the first
 		// stage executes: the job binds this executor's pool (and its
@@ -528,22 +639,35 @@ func (s *Scheduler) exec(ev event, ec *plan.Exec, qs *queueSet, idx int) {
 		}
 		if atomic.AddInt32(&j.pending[k], -1) == 0 {
 			if !qs.push(event{job: j, stage: k}, true, uint32(idx)) {
-				j.fail(fmt.Errorf("sched: scheduler stopped"))
+				j.fail(ErrStopped)
 				// Fall through: completeStage below still drains.
-				j.completeStage()
+				if j.completeStage() {
+					s.finishCounters(j)
+				}
 			}
 		}
 	}
-	j.completeStage()
+	if j.completeStage() {
+		s.finishCounters(j)
+	}
+}
+
+// finishCounters accounts one finished job in the scheduler stats.
+func (s *Scheduler) finishCounters(j *Job) {
+	if j.err != nil {
+		s.failedCnt.Add(1)
+	} else {
+		s.completed.Add(1)
+	}
 }
 
 // completeStage accounts one finished (or skipped) stage and finalizes
 // the job when all stages have drained: pooled vectors are returned for
 // the whole pipeline — one batched pool visit per stage row — and the
-// waiter is signalled.
-func (j *Job) completeStage() {
+// waiter is signalled. Reports whether this call finalized the job.
+func (j *Job) completeStage() bool {
 	if j.left.Add(-1) != 0 {
-		return
+		return false
 	}
 	if j.retPool != nil {
 		lastIdx := len(j.Plan.Stages) - 1
@@ -556,12 +680,16 @@ func (j *Job) completeStage() {
 		}
 	}
 	j.finish()
+	return true
 }
 
-// finish delivers the job result exactly once.
+// finish delivers the job result exactly once: the OnDone hook fires,
+// then the (buffered) done channel receives the error for Wait.
 func (j *Job) finish() {
-	select {
-	case j.done <- j.err:
-	default:
-	}
+	j.doneOnce.Do(func() {
+		if j.onDone != nil {
+			j.onDone(j.err)
+		}
+		j.done <- j.err
+	})
 }

@@ -1,6 +1,8 @@
 package sched
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -272,8 +274,8 @@ func TestQueueWorkStealing(t *testing.T) {
 	q := newQueueSet(4)
 	jHigh := &Job{}
 	jLow := &Job{}
-	q.push(event{job: jLow, stage: 0}, false, 3)  // own shard, low
-	q.push(event{job: jHigh, stage: 1}, true, 0)  // foreign shard, high
+	q.push(event{job: jLow, stage: 0}, false, 3) // own shard, low
+	q.push(event{job: jHigh, stage: 1}, true, 0) // foreign shard, high
 	ev, ok := q.pop(3)
 	if !ok || ev.job != jHigh {
 		t.Fatal("stolen high-priority event must beat own-shard low")
@@ -584,5 +586,73 @@ func TestBatchJobBranchingPlan(t *testing.T) {
 		if outs[i].Dense[0] != want[i] {
 			t.Fatalf("record %d: batch %v reference %v", i, outs[i].Dense[0], want[i])
 		}
+	}
+}
+
+// TestExpiredJobShedding: jobs whose context or deadline expired are
+// dropped before any stage dispatch and accounted in Stats.
+func TestExpiredJobShedding(t *testing.T) {
+	s := New(Config{Executors: 2})
+	defer s.Close()
+	pl := saPlan(t, "sa")
+	in, out := vector.New(0), vector.New(0)
+	in.SetText("nice")
+
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	j := NewJob(pl, in, out, nil)
+	j.SetContext(ctx)
+	s.Submit(j)
+	if err := j.Wait(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+
+	j2 := NewJob(pl, in, out, nil)
+	j2.SetDeadline(time.Now().Add(-time.Second))
+	s.Submit(j2)
+	if err := j2.Wait(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline-only: want DeadlineExceeded, got %v", err)
+	}
+
+	st := s.Stats()
+	if st.Submitted != 2 || st.Expired != 2 || st.Failed != 2 || st.Completed != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	for i, stage := range pl.Stages {
+		if ss := stage.Stats(); ss.Execs != 0 {
+			t.Fatalf("stage %d ran %d times for expired jobs", i, ss.Execs)
+		}
+	}
+}
+
+// TestOnDoneAndPriority: the completion hook fires exactly once with
+// the job error, for normal and high-priority submissions alike.
+func TestOnDoneAndPriority(t *testing.T) {
+	s := New(Config{Executors: 2})
+	defer s.Close()
+	pl := saPlan(t, "sa")
+	for _, high := range []bool{false, true} {
+		in, out := vector.New(0), vector.New(0)
+		in.SetText("nice product")
+		j := NewJob(pl, in, out, nil)
+		j.SetHighPriority(high)
+		fired := make(chan error, 2)
+		j.SetOnDone(func(err error) { fired <- err })
+		s.Submit(j)
+		if err := j.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		if err := <-fired; err != nil {
+			t.Fatalf("hook error %v", err)
+		}
+		select {
+		case <-fired:
+			t.Fatal("hook fired twice")
+		default:
+		}
+	}
+	st := s.Stats()
+	if st.Completed != 2 || st.Failed != 0 {
+		t.Fatalf("stats %+v", st)
 	}
 }

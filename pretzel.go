@@ -30,10 +30,27 @@
 //	        ClassifierBinaryLinear(model)
 //	pln, _ := prg.Plan("my-model", pretzel.DefaultCompileOptions())
 //	rt := pretzel.NewRuntime(objStore, pretzel.RuntimeConfig{Executors: 8})
-//	rt.Register(pln)
+//	rt.Register(pln) // installs my-model@1 with the "stable" label
+//
+//	// Context-aware request path with typed errors:
 //	in, out := pretzel.NewVector(), pretzel.NewVector()
 //	in.SetText("this is a nice product")
-//	rt.Predict("my-model", in, out)
+//	err := rt.PredictRequest(pretzel.Request{
+//	        Ctx:      ctx,
+//	        Model:    "my-model",            // or "my-model@1", "my-model@stable"
+//	        In:       in,
+//	        Out:      out,
+//	        Deadline: time.Now().Add(5 * time.Millisecond),
+//	})
+//	switch {
+//	case errors.Is(err, pretzel.ErrModelNotFound):    // 404
+//	case errors.Is(err, pretzel.ErrDeadlineExceeded): // 504
+//	}
+//
+//	// Versioned lifecycle with atomic hot swap:
+//	rt.RegisterVersion(plnV2, "my-model", 2)
+//	rt.SetLabel("my-model", "stable", 2) // traffic moves atomically
+//	rt.Unregister("my-model@1")          // drains in-flight work first
 package pretzel
 
 import (
@@ -67,10 +84,39 @@ type (
 	Runtime = runtime.Runtime
 	// RuntimeConfig parameterizes the runtime.
 	RuntimeConfig = runtime.Config
+	// Request is one context-aware prediction request.
+	Request = runtime.Request
+	// BatchRequest is a whole batch of records served as one job.
+	BatchRequest = runtime.BatchRequest
+	// Ticket is the handle of an asynchronously submitted request.
+	Ticket = runtime.Ticket
+	// Priority selects the batch-engine queue class.
+	Priority = runtime.Priority
+	// Registered is one installed version of a model.
+	Registered = runtime.Registered
+	// ModelInfo is the white-box view of one registered model.
+	ModelInfo = runtime.ModelInfo
 	// FrontEnd is the HTTP serving layer.
 	FrontEnd = frontend.Server
 	// FrontEndConfig parameterizes the front end.
 	FrontEndConfig = frontend.Config
+)
+
+// Typed sentinel errors of the serving API (match with errors.Is).
+var (
+	ErrModelNotFound    = runtime.ErrModelNotFound
+	ErrDeadlineExceeded = runtime.ErrDeadlineExceeded
+	ErrCanceled         = runtime.ErrCanceled
+	ErrClosed           = runtime.ErrClosed
+	ErrInvalidInput     = runtime.ErrInvalidInput
+)
+
+// Request priorities and the default label.
+const (
+	PriorityNormal = runtime.PriorityNormal
+	PriorityHigh   = runtime.PriorityHigh
+	// LabelStable is the label bare model references resolve through.
+	LabelStable = runtime.LabelStable
 )
 
 // NewVector returns an empty data vector.

@@ -1,9 +1,12 @@
 package pretzel_test
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"pretzel"
 	"pretzel/internal/dataset"
@@ -258,5 +261,72 @@ func TestAblationOptionsThroughFacade(t *testing.T) {
 	in.SetText("nice")
 	if err := rt.Predict("lazy", in, out); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestFacadeRequestAPI exercises the context-aware Request API and the
+// versioned lifecycle through the public facade.
+func TestFacadeRequestAPI(t *testing.T) {
+	objStore, pln := buildQuickstart(t, false)
+	rt := pretzel.NewRuntime(objStore, pretzel.RuntimeConfig{Executors: 2})
+	defer rt.Close()
+	reg, err := rt.RegisterVersion(pln, "qs", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Version != 1 {
+		t.Fatalf("version %d", reg.Version)
+	}
+
+	in, out := pretzel.NewVector(), pretzel.NewVector()
+	in.SetText("a nice thing")
+	err = rt.PredictRequest(pretzel.Request{
+		Ctx:      context.Background(),
+		Model:    "qs@stable",
+		In:       in,
+		Out:      out,
+		Deadline: time.Now().Add(time.Second),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Dense) != 1 {
+		t.Fatalf("output %v", out.Dense)
+	}
+
+	// Typed errors surface through the facade re-exports.
+	if err := rt.PredictRequest(pretzel.Request{Model: "ghost", In: in, Out: out}); !errors.Is(err, pretzel.ErrModelNotFound) {
+		t.Fatalf("want ErrModelNotFound, got %v", err)
+	}
+	expired, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if err := rt.PredictRequest(pretzel.Request{Ctx: expired, Model: "qs", In: in, Out: out}); !errors.Is(err, pretzel.ErrDeadlineExceeded) {
+		t.Fatalf("want ErrDeadlineExceeded, got %v", err)
+	}
+
+	// Async path with a ticket.
+	tk, err := rt.SubmitRequest(pretzel.Request{Model: "qs", In: in, Out: out, Priority: pretzel.PriorityHigh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if tk.Model != "qs@1" {
+		t.Fatalf("ticket %q", tk.Model)
+	}
+
+	// White-box introspection through the facade.
+	info, err := rt.ModelInfo("qs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Versions) != 1 || len(info.Versions[0].Stages) == 0 {
+		t.Fatalf("info %+v", info)
+	}
+	for _, st := range info.Versions[0].Stages {
+		if st.Execs == 0 {
+			t.Fatalf("stage %d never counted", st.Index)
+		}
 	}
 }
