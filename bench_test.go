@@ -16,8 +16,11 @@ import (
 
 	"pretzel/internal/bench"
 	"pretzel/internal/blackbox"
+	"pretzel/internal/ml"
+	"pretzel/internal/ops"
 	"pretzel/internal/oven"
 	"pretzel/internal/pipeline"
+	"pretzel/internal/plan"
 	"pretzel/internal/runtime"
 	"pretzel/internal/store"
 	"pretzel/internal/vector"
@@ -312,3 +315,69 @@ func BenchmarkExpFig13(b *testing.B)       { experimentBenchmark(b, "fig13") }
 func BenchmarkExpScale(b *testing.B)       { experimentBenchmark(b, "scale") }
 func BenchmarkExpReservation(b *testing.B) { experimentBenchmark(b, "reservation") }
 func BenchmarkExpFig14(b *testing.B)       { experimentBenchmark(b, "fig14") }
+func BenchmarkExpBatchSweep(b *testing.B)  { experimentBenchmark(b, "batchsweep") }
+
+// BenchmarkBatchStage measures single-stage record throughput of a
+// LinearScore stage across batch sizes, in three dispatch modes:
+//
+//   - batched:     one RunStageBatch event, native BatchKernel (weights
+//     loaded once, record loop innermost)
+//   - fallback:    one RunStageBatch event, per-record Kernel.Run (what
+//     non-batch-aware kernels get — overheads still amortized)
+//   - per-record:  one RunStage call per record: the pre-batch scheduler
+//     behavior, paying timing reads and metric updates per record
+//
+// One iteration = one stage event over the whole batch; rec/s is the
+// record throughput. This is the microbench behind the batchsweep
+// experiment.
+func BenchmarkBatchStage(b *testing.B) {
+	const dim = 1 << 14
+	const nnz = 16
+	weights := make([]float32, dim)
+	for i := range weights {
+		weights[i] = float32(i%7) * 0.125
+	}
+	model := &ml.LinearModel{Kind: ml.LogisticRegression, Weights: weights}
+	st := &plan.Stage{
+		ID:   0xBA7C4,
+		Kern: &plan.LinearScoreKernel{Model: model},
+		Ops:  []ops.Op{&ops.LinearPredictor{Model: model}},
+	}
+	for _, batch := range []int{1, 8, 64, 256} {
+		for _, mode := range []string{"batched", "fallback", "per-record"} {
+			b.Run(fmt.Sprintf("batch=%d/%s", batch, mode), func(b *testing.B) {
+				ec := &plan.Exec{Pool: vector.NewPool(), DisableBatchKernels: mode == "fallback"}
+				insRows := make([][]*vector.Vector, batch)
+				outs := make([]*vector.Vector, batch)
+				for r := 0; r < batch; r++ {
+					in := vector.New(0)
+					in.UseSparse(dim)
+					for k := 0; k < nnz; k++ {
+						in.AppendSparse(int32((r+k*251)%dim), 1)
+					}
+					in.SortSparse()
+					insRows[r] = []*vector.Vector{in}
+					outs[r] = vector.New(1)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				if mode == "per-record" {
+					for i := 0; i < b.N; i++ {
+						for r := 0; r < batch; r++ {
+							if err := plan.RunStage(st, ec, insRows[r], outs[r]); err != nil {
+								b.Fatal(err)
+							}
+						}
+					}
+				} else {
+					for i := 0; i < b.N; i++ {
+						if err := plan.RunStageBatch(st, ec, insRows, outs, nil); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "rec/s")
+			})
+		}
+	}
+}

@@ -230,6 +230,7 @@ func Experiments() []Experiment {
 		{"reservation", "§5.4.1: reservation-based scheduling under load", runReservation},
 		{"fig14", "Figure 14: heavy load end-to-end vs containers", runFig14},
 		{"deadline", "deadline-aware scheduling: expired jobs shed before dispatch", runDeadline},
+		{"batchsweep", "batch-aware kernels: records/s vs batch size, batched vs per-record", runBatchSweep},
 	}
 }
 

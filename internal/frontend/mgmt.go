@@ -25,6 +25,7 @@ import (
 	"pretzel/internal/pipeline"
 	"pretzel/internal/runtime"
 	"pretzel/internal/sched"
+	"pretzel/internal/store"
 	"pretzel/internal/vector"
 )
 
@@ -169,9 +170,12 @@ type Statz struct {
 	BatchPool     vector.PoolStats     `json:"batch_pool"`
 	Sched         sched.Stats          `json:"sched"`
 	Cache         CacheStats           `json:"cache"`
+	MatCache      store.CacheStats     `json:"mat_cache"`
+	ObjectStore   store.Stats          `json:"object_store"`
 }
 
-// handleStatz reports pool, catalog, scheduler and cache statistics.
+// handleStatz reports pool, catalog, scheduler and cache statistics,
+// including materialization-cache and Object Store effectiveness.
 func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, Statz{
 		UptimeSeconds: time.Since(s.start).Seconds(),
@@ -180,5 +184,7 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		BatchPool:     s.rt.BatchPoolStats(),
 		Sched:         s.rt.SchedStats(),
 		Cache:         s.CacheStats(),
+		MatCache:      s.rt.MatCacheStats(),
+		ObjectStore:   s.rt.ObjectStoreStats(),
 	})
 }

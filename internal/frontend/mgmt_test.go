@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"pretzel/internal/oven"
 	"pretzel/internal/runtime"
 	"pretzel/internal/store"
 )
@@ -239,6 +240,44 @@ func TestStatz(t *testing.T) {
 	}
 	if st.RRPool.Gets == 0 {
 		t.Fatalf("statz rr pool %+v", st.RRPool)
+	}
+	if st.ObjectStore.Unique == 0 || st.ObjectStore.Bytes == 0 {
+		t.Fatalf("statz object store %+v", st.ObjectStore)
+	}
+	// No materialization cache configured: stats are zero-valued.
+	if st.MatCache.Entries != 0 || st.MatCache.Hits != 0 {
+		t.Fatalf("statz mat cache %+v", st.MatCache)
+	}
+}
+
+// TestStatzMatCache: with materialization enabled, /statz makes the
+// cache's effectiveness (hits, misses, entries, bytes) observable.
+func TestStatzMatCache(t *testing.T) {
+	objStore := store.New()
+	rt := runtime.New(objStore, runtime.Config{Executors: 2, MatCacheBytes: 8 << 20})
+	t.Cleanup(rt.Close)
+	pl, err := oven.Compile(saPipe(t, "sa", 0), objStore, oven.Options{AOT: true, Materialization: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Register(pl); err != nil {
+		t.Fatal(err)
+	}
+	fe := New(rt, Config{})
+	srv := httptest.NewServer(fe)
+	defer srv.Close()
+	for i := 0; i < 2; i++ {
+		if _, _, err := fe.Predict("sa", "a nice product"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var st Statz
+	_, body := do(t, http.MethodGet, srv.URL+"/statz", nil)
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.MatCache.Entries == 0 || st.MatCache.Hits == 0 || st.MatCache.Bytes == 0 || st.MatCache.Shards == 0 {
+		t.Fatalf("statz mat cache %+v", st.MatCache)
 	}
 }
 

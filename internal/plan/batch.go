@@ -1,0 +1,158 @@
+// Batch-aware stage execution: the batch engine's unit of work is a
+// whole record row, not a record (§4.2, §5.2 — "weights are read once
+// for many records"). RunStageBatch pushes an entire batch through one
+// kernel invocation: one timing read and one metrics update per stage
+// event, one batched materialization-cache probe, and the record loop
+// as the innermost loop of the kernel itself (BatchKernel). Kernels
+// that only implement the per-record Kernel interface fall back to a
+// driver loop with identical semantics.
+package plan
+
+import (
+	"fmt"
+	"time"
+
+	"pretzel/internal/vector"
+)
+
+// BatchKernel is the batch-aware face of a physical stage
+// implementation: RunBatch evaluates the stage for every record of a
+// batch in one invocation, so stage parameters (model weights,
+// dictionaries, fused-operator state) are loaded once per batch rather
+// than once per record.
+//
+// Contract: len(insRows) == len(outs); insRows[r] holds record r's
+// stage inputs in Stage.Inputs order. accs is the per-record pushdown
+// accumulator row — kernels of UsesAcc stages read/write accs[r] (never
+// ec.Acc, which stays a per-record-path concern); other kernels ignore
+// it, and it may then be nil. Implementations must produce bit-identical
+// outputs and accumulator values to running Kernel.Run record by record.
+type BatchKernel interface {
+	Kernel
+	RunBatch(ec *Exec, insRows [][]*vector.Vector, outs []*vector.Vector, accs []float32) error
+}
+
+// RunStageBatch executes one stage over a whole record row: the batch
+// engine's per-event entry point. Unlike a per-record RunStage loop it
+// pays the timing reads and the stage-counter updates once for the
+// whole batch, probes the materialization cache for all records up
+// front (running the kernel only over the misses and inserting their
+// results back), and dispatches kernels through BatchKernel when
+// implemented. accs must have len(outs) entries when the stage uses the
+// pushdown accumulator.
+func RunStageBatch(s *Stage, ec *Exec, insRows [][]*vector.Vector, outs []*vector.Vector, accs []float32) error {
+	kern := s.Kernel()
+	if kern == nil {
+		return fmt.Errorf("plan: stage %x has no kernel bound", s.ID)
+	}
+	if len(insRows) != len(outs) {
+		return fmt.Errorf("plan: stage %x batch ins/outs mismatch (%d/%d)", s.ID, len(insRows), len(outs))
+	}
+	if s.UsesAcc && len(accs) < len(outs) {
+		return fmt.Errorf("plan: stage %x uses the accumulator but got %d accs for %d records", s.ID, len(accs), len(outs))
+	}
+	start := time.Now()
+	err := runStageBatchInner(s, kern, ec, insRows, outs, accs)
+	s.metrics.nanos.Add(uint64(time.Since(start)))
+	s.metrics.execs.Add(1)
+	s.metrics.records.Add(uint64(len(outs)))
+	if err != nil {
+		s.metrics.errs.Add(1)
+	}
+	return err
+}
+
+// runStageBatchInner handles the batched materialization-cache protocol
+// around the kernel invocation: hash every record's input, serve hits by
+// copy, gather the misses into a contiguous sub-batch for the kernel,
+// and insert the fresh results.
+func runStageBatchInner(s *Stage, kern Kernel, ec *Exec, insRows [][]*vector.Vector, outs []*vector.Vector, accs []float32) error {
+	n := len(outs)
+	if n == 0 {
+		return nil
+	}
+	if !s.Materializable || ec.Cache == nil || len(insRows[0]) != 1 {
+		return runBatchKernel(kern, ec, insRows, outs, accs, s.UsesAcc)
+	}
+	if cap(ec.hashes) < n {
+		ec.hashes = make([]uint64, n)
+	}
+	hashes := ec.hashes[:n]
+	miss := ec.missIdx[:0]
+	for r := 0; r < n; r++ {
+		hashes[r] = HashInput(insRows[r][0])
+		if !ec.Cache.GetInto(s.ID, hashes[r], outs[r]) {
+			miss = append(miss, r)
+		}
+	}
+	ec.missIdx = miss
+	if hits := n - len(miss); hits > 0 {
+		s.metrics.cacheHits.Add(uint64(hits))
+	}
+	if len(miss) == 0 {
+		return nil
+	}
+	if len(miss) == n {
+		// Nothing was served: run the whole batch as-is.
+		if err := runBatchKernel(kern, ec, insRows, outs, accs, s.UsesAcc); err != nil {
+			return err
+		}
+		for r := 0; r < n; r++ {
+			ec.Cache.Put(s.ID, hashes[r], outs[r])
+		}
+		return nil
+	}
+	// Gather the misses into a dense sub-batch (executor-owned scratch,
+	// no allocation in steady state), run the kernel once over it, then
+	// scatter accumulators back and insert the results.
+	if cap(ec.missIns) < len(miss) {
+		ec.missIns = make([][]*vector.Vector, len(miss))
+		ec.missOuts = make([]*vector.Vector, len(miss))
+		ec.missAccs = make([]float32, len(miss))
+	}
+	mIns, mOuts := ec.missIns[:len(miss)], ec.missOuts[:len(miss)]
+	var mAccs []float32
+	for i, r := range miss {
+		mIns[i], mOuts[i] = insRows[r], outs[r]
+	}
+	if s.UsesAcc {
+		mAccs = ec.missAccs[:len(miss)]
+		for i, r := range miss {
+			mAccs[i] = accs[r]
+		}
+	}
+	if err := runBatchKernel(kern, ec, mIns, mOuts, mAccs, s.UsesAcc); err != nil {
+		return err
+	}
+	if s.UsesAcc {
+		for i, r := range miss {
+			accs[r] = mAccs[i]
+		}
+	}
+	for _, r := range miss {
+		ec.Cache.Put(s.ID, hashes[r], outs[r])
+	}
+	return nil
+}
+
+// runBatchKernel invokes the kernel over a batch: one RunBatch call
+// when the kernel is batch-aware, otherwise the per-record fallback
+// loop with accumulator handoff through ec.Acc (exactly what a
+// per-record scheduler would have done).
+func runBatchKernel(kern Kernel, ec *Exec, insRows [][]*vector.Vector, outs []*vector.Vector, accs []float32, usesAcc bool) error {
+	if bk, ok := kern.(BatchKernel); ok && !ec.DisableBatchKernels {
+		return bk.RunBatch(ec, insRows, outs, accs)
+	}
+	for r := range outs {
+		if usesAcc {
+			ec.Acc = accs[r]
+		}
+		if err := kern.Run(ec, insRows[r], outs[r]); err != nil {
+			return fmt.Errorf("record %d: %w", r, err)
+		}
+		if usesAcc {
+			accs[r] = ec.Acc
+		}
+	}
+	return nil
+}

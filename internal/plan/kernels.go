@@ -53,6 +53,27 @@ func (k *GenericKernel) Run(ec *Exec, ins []*vector.Vector, out *vector.Vector) 
 	return nil
 }
 
+// RunBatch implements BatchKernel: the fused-sequence dispatch (and the
+// single-op fast path's interface lookup) is resolved once per batch,
+// with the record loop innermost.
+func (k *GenericKernel) RunBatch(ec *Exec, insRows [][]*vector.Vector, outs []*vector.Vector, _ []float32) error {
+	if len(k.Fused) == 1 {
+		op := k.Fused[0]
+		for r := range outs {
+			if err := op.Transform(insRows[r], outs[r]); err != nil {
+				return fmt.Errorf("record %d (%s): %w", r, op.Info().Kind, err)
+			}
+		}
+		return nil
+	}
+	for r := range outs {
+		if err := k.Run(ec, insRows[r], outs[r]); err != nil {
+			return fmt.Errorf("record %d: %w", r, err)
+		}
+	}
+	return nil
+}
+
 // --- SAHeadKernel ---
 
 // SAHeadKernel is the first stage of the optimized sentiment-analysis
@@ -103,6 +124,46 @@ func (k *SAHeadKernel) Run(ec *Exec, ins []*vector.Vector, out *vector.Vector) e
 	return nil
 }
 
+// RunBatch implements BatchKernel: the char-block weights are loaded
+// once for the whole batch and every record's partial margin lands in
+// its accs slot (the batched face of the §4.1.2 model pushdown).
+func (k *SAHeadKernel) RunBatch(ec *Exec, insRows [][]*vector.Vector, outs []*vector.Vector, accs []float32) error {
+	w := k.Weights
+	for r := range outs {
+		ins := insRows[r]
+		if len(ins) != 1 {
+			return fmt.Errorf("plan: sa-head record %d expects one input", r)
+		}
+		out := outs[r]
+		acc := float32(0)
+		if k.Tokenize {
+			if ins[0].Kind != vector.KindText {
+				return fmt.Errorf("plan: sa-head record %d expects text input, got %s", r, ins[0].Kind)
+			}
+			out.Reset()
+			out.Kind = vector.KindTokens
+			ec.TokBuf = text.TokenizeFunc(ins[0].Text, ec.TokBuf, func(tok []byte) {
+				out.AppendTokenBytes(tok)
+				k.Char.ExtractToken(tok, func(ix int32) {
+					acc += w[ix]
+				})
+			})
+		} else {
+			if ins[0].Kind != vector.KindTokens {
+				return fmt.Errorf("plan: sa-head record %d expects tokens input, got %s", r, ins[0].Kind)
+			}
+			for i := 0; i < ins[0].NumTokens(); i++ {
+				k.Char.ExtractToken(ins[0].TokenAt(i), func(ix int32) {
+					acc += w[ix]
+				})
+			}
+			out.CopyFrom(ins[0])
+		}
+		accs[r] += acc
+	}
+	return nil
+}
+
 // --- SATailKernel ---
 
 // SATailKernel is the second stage of the optimized SA plan: WordNgram
@@ -149,6 +210,40 @@ func (k *SATailKernel) Run(ec *Exec, ins []*vector.Vector, out *vector.Vector) e
 	return nil
 }
 
+// RunBatch implements BatchKernel: the word-block weights, the stream
+// configuration and the link model are set up once per batch; each
+// record only resets the token ring.
+func (k *SATailKernel) RunBatch(ec *Exec, insRows [][]*vector.Vector, outs []*vector.Vector, accs []float32) error {
+	w := k.Weights
+	ec.WStream.Configure(&k.Word)
+	m := ml.LinearModel{Kind: k.Link}
+	for r := range outs {
+		ins := insRows[r]
+		if len(ins) < 1 {
+			return fmt.Errorf("plan: sa-tail record %d expects an input", r)
+		}
+		acc := float32(0)
+		emit := func(ix int32) { acc += w[ix] }
+		ec.WStream.Reset()
+		switch {
+		case k.Tokenize && ins[0].Kind == vector.KindText:
+			ec.TokBuf = text.TokenizeFunc(ins[0].Text, ec.TokBuf, func(tok []byte) {
+				ec.WStream.Push(tok, emit)
+			})
+		case ins[0].Kind == vector.KindTokens:
+			toks := ins[0]
+			for i := 0; i < toks.NumTokens(); i++ {
+				ec.WStream.Push(toks.TokenAt(i), emit)
+			}
+		default:
+			return fmt.Errorf("plan: sa-tail record %d expects tokens or text input, got %s", r, ins[0].Kind)
+		}
+		d := outs[r].UseDense(1)
+		d[0] = m.Link(accs[r] + acc + k.Bias)
+	}
+	return nil
+}
+
 // --- FeaturizeKernel ---
 
 // FeaturizeKernel is the materializable SA flavor: the complete
@@ -185,6 +280,29 @@ func (k *FeaturizeKernel) Run(ec *Exec, ins []*vector.Vector, out *vector.Vector
 	return nil
 }
 
+// RunBatch implements BatchKernel: dictionaries, output layout and the
+// stream configuration are resolved once per batch.
+func (k *FeaturizeKernel) RunBatch(ec *Exec, insRows [][]*vector.Vector, outs []*vector.Vector, _ []float32) error {
+	dim := k.Dim()
+	off := int32(k.CharDim)
+	ec.WStream.Configure(&k.Word)
+	for r := range outs {
+		ins := insRows[r]
+		if len(ins) != 1 || ins[0].Kind != vector.KindText {
+			return fmt.Errorf("plan: sa-featurize record %d expects one text input", r)
+		}
+		out := outs[r]
+		out.UseSparse(dim)
+		ec.WStream.Reset()
+		ec.TokBuf = text.TokenizeFunc(ins[0].Text, ec.TokBuf, func(tok []byte) {
+			k.Char.ExtractToken(tok, func(ix int32) { out.AppendSparse(ix, 1) })
+			ec.WStream.Push(tok, func(ix int32) { out.AppendSparse(off+ix, 1) })
+		})
+		out.SortSparse()
+	}
+	return nil
+}
+
 // --- LinearScoreKernel ---
 
 // LinearScoreKernel scores a sparse feature vector with a linear model
@@ -215,6 +333,32 @@ func (k *LinearScoreKernel) Run(ec *Exec, ins []*vector.Vector, out *vector.Vect
 	return nil
 }
 
+// RunBatch implements BatchKernel: the model (weights, bias, link) is
+// loaded once and every record of the batch streams through it — the
+// parameter-locality effect PRETZEL's batch engine is built around
+// (§4.2: "weights are read once for many records").
+func (k *LinearScoreKernel) RunBatch(ec *Exec, insRows [][]*vector.Vector, outs []*vector.Vector, _ []float32) error {
+	m := k.Model
+	for r := range outs {
+		ins := insRows[r]
+		if len(ins) != 1 {
+			return fmt.Errorf("plan: linear-score record %d expects one input", r)
+		}
+		var margin float32
+		switch ins[0].Kind {
+		case vector.KindSparse:
+			margin = m.MarginSparse(ins[0].Idx, ins[0].Val)
+		case vector.KindDense:
+			margin = m.Margin(ins[0].Dense)
+		default:
+			return fmt.Errorf("plan: linear-score record %d expects a vector input, got %s", r, ins[0].Kind)
+		}
+		d := outs[r].UseDense(1)
+		d[0] = m.Link(margin)
+	}
+	return nil
+}
+
 // --- ConcatKernel ---
 
 // ConcatKernel concatenates stage outputs. Plans keep an explicit concat
@@ -232,13 +376,25 @@ func (k *ConcatKernel) Run(ec *Exec, ins []*vector.Vector, out *vector.Vector) e
 	return k.Op.Transform(ins, out)
 }
 
+// RunBatch implements BatchKernel: the operator (and its layout table)
+// is resolved once for the whole batch.
+func (k *ConcatKernel) RunBatch(ec *Exec, insRows [][]*vector.Vector, outs []*vector.Vector, _ []float32) error {
+	op := k.Op
+	for r := range outs {
+		if err := op.Transform(insRows[r], outs[r]); err != nil {
+			return fmt.Errorf("record %d: %w", r, err)
+		}
+	}
+	return nil
+}
+
 var (
-	_ Kernel = (*GenericKernel)(nil)
-	_ Kernel = (*SAHeadKernel)(nil)
-	_ Kernel = (*SATailKernel)(nil)
-	_ Kernel = (*FeaturizeKernel)(nil)
-	_ Kernel = (*LinearScoreKernel)(nil)
-	_ Kernel = (*ConcatKernel)(nil)
+	_ BatchKernel = (*GenericKernel)(nil)
+	_ BatchKernel = (*SAHeadKernel)(nil)
+	_ BatchKernel = (*SATailKernel)(nil)
+	_ BatchKernel = (*FeaturizeKernel)(nil)
+	_ BatchKernel = (*LinearScoreKernel)(nil)
+	_ BatchKernel = (*ConcatKernel)(nil)
 )
 
 // RunPlan executes a compiled plan on one input, acquiring ALL the
@@ -312,6 +468,7 @@ func runStage(s *Stage, ec *Exec, ins []*vector.Vector, out *vector.Vector) erro
 	err := runStageInner(s, kern, ec, ins, out)
 	s.metrics.nanos.Add(uint64(time.Since(start)))
 	s.metrics.execs.Add(1)
+	s.metrics.records.Add(1)
 	if err != nil {
 		s.metrics.errs.Add(1)
 	}
@@ -321,8 +478,7 @@ func runStage(s *Stage, ec *Exec, ins []*vector.Vector, out *vector.Vector) erro
 func runStageInner(s *Stage, kern Kernel, ec *Exec, ins []*vector.Vector, out *vector.Vector) error {
 	if s.Materializable && ec.Cache != nil && len(ins) == 1 {
 		h := HashInput(ins[0])
-		if cached, ok := ec.Cache.Get(s.ID, h); ok {
-			out.CopyFrom(cached)
+		if ec.Cache.GetInto(s.ID, h, out) {
 			s.metrics.cacheHits.Add(1)
 			return nil
 		}

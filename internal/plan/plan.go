@@ -58,12 +58,28 @@ type Exec struct {
 	// deadline enforcement costs no context allocation on the hot path).
 	DeadlineNS int64
 
+	// DisableBatchKernels forces RunStageBatch onto the per-record
+	// fallback even for kernels that implement BatchKernel (the
+	// batchsweep ablation baseline).
+	DisableBatchKernels bool
+
 	// Scratch state reused across stage executions.
 	TokBuf  []byte
 	WStream text.WordNgramStream
 	outTab  []*vector.Vector
 	insTab  []*vector.Vector
 	scratch [2]*vector.Vector
+
+	// Batch-path scratch reused across stage events (RunStageBatch):
+	// the per-record input rows handed to batch kernels and the
+	// materialization-cache probe state.
+	insRows  [][]*vector.Vector
+	insFlat  []*vector.Vector
+	hashes   []uint64
+	missIdx  []int
+	missIns  [][]*vector.Vector
+	missOuts []*vector.Vector
+	missAccs []float32
 }
 
 // InsBuf returns the context's reusable stage-input buffer, emptied.
@@ -79,6 +95,25 @@ func (e *Exec) InsBuf() []*vector.Vector {
 
 // SetInsBuf hands a (possibly grown) input buffer back to the context.
 func (e *Exec) SetInsBuf(b []*vector.Vector) { e.insTab = b }
+
+// InsRows returns the context's reusable batch input table: n rows of k
+// input slots each, backed by one flat executor-owned array. Building a
+// whole stage event's kernel inputs therefore allocates nothing in
+// steady state; rows are valid until the next InsRows call.
+func (e *Exec) InsRows(n, k int) [][]*vector.Vector {
+	if cap(e.insRows) < n {
+		e.insRows = make([][]*vector.Vector, n)
+	}
+	rows := e.insRows[:n]
+	if cap(e.insFlat) < n*k {
+		e.insFlat = make([]*vector.Vector, n*k)
+	}
+	flat := e.insFlat[:n*k]
+	for i := range rows {
+		rows[i] = flat[i*k : (i+1)*k : (i+1)*k]
+	}
+	return rows
+}
 
 // ScratchPair returns two executor-owned scratch vectors for kernels
 // that ping-pong through a fused operator sequence. They live with the
@@ -174,17 +209,19 @@ type Stage struct {
 
 // stageMetrics is the lock-free counter block of one stage.
 type stageMetrics struct {
-	execs     atomic.Uint64 // completed kernel executions (per record)
+	execs     atomic.Uint64 // stage executions (a batched stage event counts once)
+	records   atomic.Uint64 // records processed across executions
 	errs      atomic.Uint64 // executions that returned an error
-	cacheHits atomic.Uint64 // materialization-cache hits (no kernel run)
+	cacheHits atomic.Uint64 // per-record materialization-cache hits (no kernel run)
 	nanos     atomic.Uint64 // cumulative wall time across executions
 }
 
 // StageStats is a white-box snapshot of one stage's execution counters.
 type StageStats struct {
-	Execs      uint64 // executions, including cache-served ones
+	Execs      uint64 // stage executions: one per record (request-response) or per batch event
+	Records    uint64 // records processed, including cache-served ones
 	Errs       uint64 // executions that failed
-	CacheHits  uint64 // executions served from the materialization cache
+	CacheHits  uint64 // records served from the materialization cache
 	TotalNanos uint64 // cumulative execution wall time
 }
 
@@ -200,6 +237,7 @@ func (st StageStats) AvgNanos() uint64 {
 func (s *Stage) Stats() StageStats {
 	return StageStats{
 		Execs:      s.metrics.execs.Load(),
+		Records:    s.metrics.records.Load(),
 		Errs:       s.metrics.errs.Load(),
 		CacheHits:  s.metrics.cacheHits.Load(),
 		TotalNanos: s.metrics.nanos.Load(),
@@ -288,40 +326,89 @@ func StageID(kernelKind string, fused []ops.Op) uint64 {
 	return acc
 }
 
-// HashInput computes the cache key hash of an input vector (sub-plan
-// materialization keys results by stage and input).
-func HashInput(v *vector.Vector) uint64 {
-	h := fnv.New64a()
-	switch v.Kind {
-	case vector.KindText:
-		h.Write([]byte{1})
-		h.Write([]byte(v.Text))
-	case vector.KindTokens:
-		h.Write([]byte{2})
-		for i := 0; i < v.NumTokens(); i++ {
-			h.Write(v.TokenAt(i))
-			h.Write([]byte{0})
-		}
-	case vector.KindDense:
-		h.Write([]byte{3})
-		for _, x := range v.Dense {
-			var b [4]byte
-			u := f32bits(x)
-			b[0], b[1], b[2], b[3] = byte(u), byte(u>>8), byte(u>>16), byte(u>>24)
-			h.Write(b[:])
-		}
-	case vector.KindSparse:
-		h.Write([]byte{4})
-		for i, ix := range v.Idx {
-			var b [8]byte
-			u := uint32(ix)
-			w := f32bits(v.Val[i])
-			b[0], b[1], b[2], b[3] = byte(u), byte(u>>8), byte(u>>16), byte(u>>24)
-			b[4], b[5], b[6], b[7] = byte(w), byte(w>>8), byte(w>>16), byte(w>>24)
-			h.Write(b[:])
-		}
+// FNV-1a constants (hash/fnv, inlined so the hot path never pays an
+// interface-method call per element).
+const (
+	fnvOffset64 = 0xcbf29ce484222325
+	fnvPrime64  = 0x100000001b3
+)
+
+// fnvAdd folds b into the running FNV-1a state h.
+func fnvAdd(h uint64, b []byte) uint64 {
+	for _, c := range b {
+		h = (h ^ uint64(c)) * fnvPrime64
 	}
-	return h.Sum64()
+	return h
 }
 
-func f32bits(f float32) uint32 { return math.Float32bits(f) }
+// fnvAddString is fnvAdd over a string without a []byte conversion.
+func fnvAddString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
+	}
+	return h
+}
+
+// hashChunk is the stack buffer the numeric element loops encode into
+// before folding: one fnvAdd pass per chunk instead of one hash write
+// per 4-8 byte element.
+const hashChunk = 256
+
+// HashInput computes the cache key hash of an input vector (sub-plan
+// materialization keys results by stage and input). It produces the
+// same FNV-1a values as hashing the tagged byte encoding through
+// hash/fnv, but batches dense/sparse elements through a stack chunk
+// buffer so large feature vectors hash in a few tight passes.
+func HashInput(v *vector.Vector) uint64 {
+	var buf [hashChunk]byte
+	h := uint64(fnvOffset64)
+	switch v.Kind {
+	case vector.KindText:
+		h = (h ^ 1) * fnvPrime64
+		h = fnvAddString(h, v.Text)
+	case vector.KindTokens:
+		h = (h ^ 2) * fnvPrime64
+		for i := 0; i < v.NumTokens(); i++ {
+			h = fnvAdd(h, v.TokenAt(i))
+			h = h * fnvPrime64 // the 0 separator byte
+		}
+	case vector.KindDense:
+		h = (h ^ 3) * fnvPrime64
+		n := 0
+		for _, x := range v.Dense {
+			u := math.Float32bits(x)
+			buf[n] = byte(u)
+			buf[n+1] = byte(u >> 8)
+			buf[n+2] = byte(u >> 16)
+			buf[n+3] = byte(u >> 24)
+			n += 4
+			if n == hashChunk {
+				h = fnvAdd(h, buf[:])
+				n = 0
+			}
+		}
+		h = fnvAdd(h, buf[:n])
+	case vector.KindSparse:
+		h = (h ^ 4) * fnvPrime64
+		n := 0
+		for i, ix := range v.Idx {
+			u := uint32(ix)
+			w := math.Float32bits(v.Val[i])
+			buf[n] = byte(u)
+			buf[n+1] = byte(u >> 8)
+			buf[n+2] = byte(u >> 16)
+			buf[n+3] = byte(u >> 24)
+			buf[n+4] = byte(w)
+			buf[n+5] = byte(w >> 8)
+			buf[n+6] = byte(w >> 16)
+			buf[n+7] = byte(w >> 24)
+			n += 8
+			if n == hashChunk {
+				h = fnvAdd(h, buf[:])
+				n = 0
+			}
+		}
+		h = fnvAdd(h, buf[:n])
+	}
+	return h
+}

@@ -51,6 +51,9 @@ type Config struct {
 	// 0 means one shard per core (GOMAXPROCS); 1 emulates the old
 	// global-mutex pool (used as the scaling-experiment baseline).
 	PoolShards int
+	// DisableBatchKernels forces the batch engine onto the per-record
+	// kernel fallback (the batchsweep ablation baseline).
+	DisableBatchKernels bool
 }
 
 // Registered is one installed version of a model.
@@ -139,6 +142,7 @@ func New(objStore *store.ObjectStore, cfg Config) *Runtime {
 		DisableVectorPooling: cfg.DisableVectorPooling,
 		VectorsPerExecutor:   cfg.VectorsPerExecutor,
 		VectorCapHint:        cfg.VectorCapHint,
+		DisableBatchKernels:  cfg.DisableBatchKernels,
 	})
 	return rt
 }
@@ -148,6 +152,24 @@ func (rt *Runtime) ObjectStore() *store.ObjectStore { return rt.objStore }
 
 // MatCache returns the materialization cache (nil when disabled).
 func (rt *Runtime) MatCache() *store.MatCache { return rt.matCache }
+
+// MatCacheStats returns the materialization-cache hit/miss/size
+// counters (zero-valued when the cache is disabled).
+func (rt *Runtime) MatCacheStats() store.CacheStats {
+	if rt.matCache == nil {
+		return store.CacheStats{}
+	}
+	return rt.matCache.Stats()
+}
+
+// ObjectStoreStats returns the Object Store intern counters and
+// parameter footprint (zero-valued when no store is attached).
+func (rt *Runtime) ObjectStoreStats() store.Stats {
+	if rt.objStore == nil {
+		return store.Stats{}
+	}
+	return rt.objStore.Stats()
+}
 
 // PoolStats returns the request-response vector pool counters
 // (invariants: Gets == Hits + Allocs, Puts <= Gets).
@@ -452,6 +474,7 @@ type StageInfo struct {
 	Kernel     string   `json:"kernel"`
 	Ops        []string `json:"ops"`
 	Execs      uint64   `json:"execs"`
+	Records    uint64   `json:"records"`
 	Errs       uint64   `json:"errs"`
 	CacheHits  uint64   `json:"cache_hits"`
 	TotalNanos uint64   `json:"total_ns"`
@@ -485,6 +508,7 @@ func stageInfos(p *plan.Plan) []StageInfo {
 			Kernel:     kind,
 			Ops:        s.OpKinds(),
 			Execs:      st.Execs,
+			Records:    st.Records,
 			Errs:       st.Errs,
 			CacheHits:  st.CacheHits,
 			TotalNanos: st.TotalNanos,

@@ -43,6 +43,7 @@ type Job struct {
 	retShard uint32             // shard hint of the binding executor
 	accs     []float32          // per-record pushdown accumulators
 	outputs  [][]*vector.Vector // [stage][record] intermediate vectors
+	rowStore []*vector.Vector   // flat [stage*record] backing of outputs rows
 	pending  []int32            // per-stage unmet input count (atomic)
 	heads    []int              // stages with no stage dependencies
 	left     atomic.Int32
@@ -77,6 +78,10 @@ func NewBatchJob(p *plan.Plan, ins, outs []*vector.Vector, cache *store.MatCache
 	n := len(p.Stages)
 	j.accs = make([]float32, len(ins))
 	j.outputs = make([][]*vector.Vector, n)
+	// One flat allocation at job creation backs every stage's output
+	// row: stage events execute with zero per-event allocation, and
+	// concurrent sibling stages write disjoint sub-slices.
+	j.rowStore = make([]*vector.Vector, n*len(ins))
 	j.pending = make([]int32, n)
 	for i, s := range p.Stages {
 		deps := 0
@@ -96,6 +101,14 @@ func NewBatchJob(p *plan.Plan, ins, outs []*vector.Vector, cache *store.MatCache
 
 // Wait blocks until the job finishes and returns its error.
 func (j *Job) Wait() error { return <-j.done }
+
+// stageRow returns the job-owned output row of one stage: a sub-slice
+// of the flat backing array allocated once at job creation, so stage
+// events never allocate row storage.
+func (j *Job) stageRow(stage int) []*vector.Vector {
+	n := len(j.Ins)
+	return j.rowStore[stage*n : (stage+1)*n : (stage+1)*n]
+}
 
 // SetContext attaches a cancellation source consulted before every
 // stage dispatch: expired jobs are dropped without touching a kernel.
@@ -381,6 +394,9 @@ type Config struct {
 	VectorsPerExecutor int
 	// VectorCapHint sizes preallocated vectors.
 	VectorCapHint int
+	// DisableBatchKernels forces every stage event onto the per-record
+	// kernel fallback (the batchsweep ablation baseline).
+	DisableBatchKernels bool
 }
 
 // Scheduler coordinates executors over the shared queues.
@@ -556,7 +572,7 @@ func (s *Scheduler) Close() {
 // locality, §4.2.1).
 func (s *Scheduler) executor(qs *queueSet, idx int, pool *vector.Pool) {
 	defer s.wg.Done()
-	ec := &plan.Exec{Pool: pool, Shard: pool.ShardHint()}
+	ec := &plan.Exec{Pool: pool, Shard: pool.ShardHint(), DisableBatchKernels: s.cfg.DisableBatchKernels}
 	for {
 		ev, ok := qs.pop(idx)
 		if !ok {
@@ -566,12 +582,14 @@ func (s *Scheduler) executor(qs *queueSet, idx int, pool *vector.Pool) {
 	}
 }
 
-// exec runs one stage event — all records of the job through one stage —
-// then unblocks its consumers (even on failure, so skipped stages still
-// drain and the job completes). ec is the executor-owned context; the
-// per-record pushdown accumulator is handed off through the job for
-// accumulator-using stages (which the compiler only emits in linear
-// chains, so the handoff never races with a concurrent sibling stage).
+// exec runs one stage event — all records of the job through ONE
+// RunStageBatch invocation (one timing read, one metrics update, one
+// batched cache probe) — then unblocks its consumers (even on failure,
+// so skipped stages still drain and the job completes). ec is the
+// executor-owned context; the per-record pushdown accumulator row is
+// handed to the batch as a whole for accumulator-using stages (which
+// the compiler only emits in linear chains, so the handoff never races
+// with a concurrent sibling stage).
 func (s *Scheduler) exec(ev event, ec *plan.Exec, qs *queueSet, idx int) {
 	j := ev.job
 	// Drop expired jobs before stage dispatch: a cancelled or
@@ -592,36 +610,30 @@ func (s *Scheduler) exec(ev event, ec *plan.Exec, qs *queueSet, idx int) {
 		ec.Cache = j.cache
 
 		st := j.Plan.Stages[ev.stage]
-		last := ev.stage == len(j.Plan.Stages)-1
 		nRec := len(j.Ins)
-		row := make([]*vector.Vector, nRec)
-		if last {
+		row := j.stageRow(ev.stage)
+		if ev.stage == len(j.Plan.Stages)-1 {
 			copy(row, j.Outs)
 		} else {
 			// One pool visit acquires the whole record row for the stage.
 			ec.Pool.GetNUniform(ec.Shard, row, st.OutCap)
 		}
 		j.outputs[ev.stage] = row
-		for r := 0; r < nRec && !j.failed.Load(); r++ {
-			ins := ec.InsBuf()
-			for _, src := range st.Inputs {
+		// Assemble the batch input table in executor-owned storage, then
+		// push the whole record row through the stage in one invocation.
+		insRows := ec.InsRows(nRec, len(st.Inputs))
+		for r := 0; r < nRec; r++ {
+			ins := insRows[r]
+			for c, src := range st.Inputs {
 				if src == plan.InputID {
-					ins = append(ins, j.Ins[r])
+					ins[c] = j.Ins[r]
 				} else {
-					ins = append(ins, j.outputs[src][r])
+					ins[c] = j.outputs[src][r]
 				}
 			}
-			ec.SetInsBuf(ins)
-			if st.UsesAcc {
-				ec.Acc = j.accs[r]
-			}
-			if err := plan.RunStage(st, ec, ins, row[r]); err != nil {
-				j.fail(fmt.Errorf("sched: plan %s stage %d record %d: %w", j.Plan.Name, ev.stage, r, err))
-				break
-			}
-			if st.UsesAcc {
-				j.accs[r] = ec.Acc
-			}
+		}
+		if err := plan.RunStageBatch(st, ec, insRows, row, j.accs); err != nil {
+			j.fail(fmt.Errorf("sched: plan %s stage %d: %w", j.Plan.Name, ev.stage, err))
 		}
 	}
 	// Propagate readiness (also for skipped stages of failed jobs).
@@ -677,6 +689,11 @@ func (j *Job) completeStage() bool {
 				j.retPool.PutN(j.retShard, row)
 			}
 			j.outputs[i] = nil
+		}
+		// Drop the flat backing's references too: returned vectors must
+		// not stay reachable through the (caller-held) job.
+		for i := range j.rowStore {
+			j.rowStore[i] = nil
 		}
 	}
 	j.finish()

@@ -656,3 +656,89 @@ func TestOnDoneAndPriority(t *testing.T) {
 		t.Fatalf("stats %+v", st)
 	}
 }
+
+// TestBatchJobOneExecPerStageEvent: the scheduler dispatches exactly
+// ONE RunStageBatch call per stage event — the stage Execs counter
+// moves by one per stage for a whole batched job, while Records moves
+// by the batch size.
+func TestBatchJobOneExecPerStageEvent(t *testing.T) {
+	s := New(Config{Executors: 2})
+	defer s.Close()
+	pl := saPlan(t, "sa")
+	const nRec = 32
+	ins := make([]*vector.Vector, nRec)
+	outs := make([]*vector.Vector, nRec)
+	for i := range ins {
+		ins[i] = vector.New(0)
+		ins[i].SetText("a nice product")
+		outs[i] = vector.New(0)
+	}
+	j := NewBatchJob(pl, ins, outs, nil)
+	s.Submit(j)
+	if err := j.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for i, stage := range pl.Stages {
+		st := stage.Stats()
+		if st.Execs != 1 {
+			t.Fatalf("stage %d: %d executions for one batched stage event, want 1", i, st.Execs)
+		}
+		if st.Records != nRec {
+			t.Fatalf("stage %d: records=%d, want %d", i, st.Records, nRec)
+		}
+	}
+	// A second batch moves every stage by exactly one more execution.
+	j2 := NewBatchJob(pl, ins, outs, nil)
+	s.Submit(j2)
+	if err := j2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for i, stage := range pl.Stages {
+		if st := stage.Stats(); st.Execs != 2 || st.Records != 2*nRec {
+			t.Fatalf("stage %d after 2 batches: execs=%d records=%d", i, st.Execs, st.Records)
+		}
+	}
+}
+
+// TestBatchJobMatchesPerRecordJobs: a batched job must produce exactly
+// the outputs of per-record jobs over the same inputs, in both kernel
+// dispatch modes (native BatchKernel and per-record fallback).
+func TestBatchJobMatchesPerRecordJobs(t *testing.T) {
+	pl := saPlan(t, "sa")
+	docs := []string{"a nice product", "bad refund awful", "nice nice", "product", "great nice thing"}
+	// Per-record reference.
+	ref := New(Config{Executors: 2})
+	defer ref.Close()
+	wants := make([]*vector.Vector, len(docs))
+	for i, d := range docs {
+		in := vector.New(0)
+		in.SetText(d)
+		wants[i] = vector.New(0)
+		j := NewJob(pl, in, wants[i], nil)
+		ref.Submit(j)
+		if err := j.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, disable := range []bool{false, true} {
+		s := New(Config{Executors: 2, DisableBatchKernels: disable})
+		ins := make([]*vector.Vector, len(docs))
+		outs := make([]*vector.Vector, len(docs))
+		for i, d := range docs {
+			ins[i] = vector.New(0)
+			ins[i].SetText(d)
+			outs[i] = vector.New(0)
+		}
+		j := NewBatchJob(pl, ins, outs, nil)
+		s.Submit(j)
+		if err := j.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		for i := range outs {
+			if !outs[i].Equal(wants[i]) {
+				t.Fatalf("disable=%v record %d: batched %v != per-record %v", disable, i, outs[i], wants[i])
+			}
+		}
+		s.Close()
+	}
+}

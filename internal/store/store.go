@@ -103,10 +103,9 @@ func (s *ObjectStore) Count() int {
 	return len(s.params)
 }
 
-// MemBytes sums the footprint of the unique stored parameters.
-func (s *ObjectStore) MemBytes() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// memBytesLocked sums the stored parameters' footprint; the caller
+// holds s.mu.
+func (s *ObjectStore) memBytesLocked() int {
 	n := 0
 	for _, e := range s.params {
 		n += e.val.MemBytes()
@@ -114,17 +113,27 @@ func (s *ObjectStore) MemBytes() int {
 	return n
 }
 
-// Stats is a snapshot of intern hit/miss counters.
+// MemBytes sums the footprint of the unique stored parameters.
+func (s *ObjectStore) MemBytes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.memBytesLocked()
+}
+
+// Stats is a snapshot of intern hit/miss counters and the footprint of
+// the unique stored parameters.
 type Stats struct {
-	Hits, Misses uint64
-	Unique       int
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	Unique int    `json:"unique"`
+	Bytes  int    `json:"bytes"`
 }
 
 // Stats returns a snapshot of the store counters.
 func (s *ObjectStore) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return Stats{Hits: s.hits, Misses: s.misses, Unique: len(s.params)}
+	return Stats{Hits: s.hits, Misses: s.misses, Unique: len(s.params), Bytes: s.memBytesLocked()}
 }
 
 // --- operator cache (load-time dedup) ---
@@ -218,10 +227,18 @@ type matEntry struct {
 	bytes int
 }
 
-// MatCache is the LRU cache for sub-plan materialization (§4.3): results
-// of physical stages shared by many model plans, keyed by input hash,
-// evicted least-recently-used when the byte budget is exceeded.
-type MatCache struct {
+// Shard count of the materialization cache (power of two). Sized above
+// typical executor counts so batched probes from many concurrent jobs
+// rarely meet on one mutex.
+const (
+	matCacheShardBits = 4
+	matCacheShards    = 1 << matCacheShardBits
+)
+
+// matShard is one independently locked LRU with its own slice of the
+// byte budget. The trailing pad keeps adjacent shards' mutexes off one
+// cache line.
+type matShard struct {
 	mu       sync.Mutex
 	capBytes int
 	curBytes int
@@ -229,85 +246,168 @@ type MatCache struct {
 	index    map[matKey]*list.Element
 
 	hits, misses uint64
+	oversized    uint64 // Put rejections: value larger than the shard budget
+
+	_ [64]byte
 }
 
-// NewMatCache builds a cache with the given byte budget.
+// MatCache is the cache for sub-plan materialization (§4.3): results of
+// physical stages shared by many model plans, keyed by (stage ID, input
+// hash). It is sharded — per-shard mutex and LRU, each shard owning an
+// equal slice of the byte budget — so concurrent batched probes from
+// many executors don't serialize on one lock.
+type MatCache struct {
+	shards [matCacheShards]matShard
+}
+
+// NewMatCache builds a cache with the given total byte budget.
 func NewMatCache(capBytes int) *MatCache {
-	return &MatCache{capBytes: capBytes, lru: list.New(), index: make(map[matKey]*list.Element)}
+	c := &MatCache{}
+	per := capBytes / matCacheShards
+	if per < 1 {
+		per = 1
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.capBytes = per
+		s.lru = list.New()
+		s.index = make(map[matKey]*list.Element)
+	}
+	return c
+}
+
+// shardOf picks the home shard of a key. Stage and input hash are mixed
+// so one hot stage's entries (and the concurrent batched probes against
+// them) still spread over all shards.
+func (c *MatCache) shardOf(k matKey) *matShard {
+	h := (k.Stage ^ k.Input) * 0x9e3779b97f4a7c15
+	return &c.shards[h>>(64-matCacheShardBits)]
 }
 
 // Get returns the cached output of (stage, inputHash), if present. The
 // returned vector is owned by the cache: callers must copy it, not hold
-// it.
+// it. Prefer GetInto, which copies under the shard lock.
 func (c *MatCache) Get(stage, inputHash uint64) (*vector.Vector, bool) {
 	k := matKey{stage, inputHash}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.index[k]
+	s := c.shardOf(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.index[k]
 	if !ok {
-		c.misses++
+		s.misses++
 		return nil, false
 	}
-	c.lru.MoveToFront(el)
-	c.hits++
+	s.lru.MoveToFront(el)
+	s.hits++
 	return el.Value.(*matEntry).val, true
 }
 
+// GetInto copies the cached output of (stage, inputHash) into dst and
+// reports whether it was present. The copy happens under the shard
+// lock, so the result is stable even against concurrent evictions.
+func (c *MatCache) GetInto(stage, inputHash uint64, dst *vector.Vector) bool {
+	k := matKey{stage, inputHash}
+	s := c.shardOf(k)
+	s.mu.Lock()
+	el, ok := s.index[k]
+	if !ok {
+		s.misses++
+		s.mu.Unlock()
+		return false
+	}
+	s.lru.MoveToFront(el)
+	s.hits++
+	dst.CopyFrom(el.Value.(*matEntry).val)
+	s.mu.Unlock()
+	return true
+}
+
 // Put stores a copy of v as the output of (stage, inputHash), evicting
-// LRU entries to stay within budget. Values larger than the whole budget
-// are not cached.
+// LRU entries of the key's shard to stay within its budget. Values
+// larger than a shard's whole budget (total budget / shard count, a
+// tighter bound than the unsharded cache had) are not cached; such
+// rejections are counted in CacheStats.Oversized so a workload whose
+// materialized outputs outgrow the budget is visible in /statz rather
+// than just a climbing miss rate.
 func (c *MatCache) Put(stage, inputHash uint64, v *vector.Vector) {
+	k := matKey{stage, inputHash}
+	s := c.shardOf(k)
 	cp := v.Clone()
 	sz := cp.MemBytes() + 64
-	if sz > c.capBytes {
+	if sz > s.capBytes {
+		s.mu.Lock()
+		s.oversized++
+		s.mu.Unlock()
 		return
 	}
-	k := matKey{stage, inputHash}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, dup := c.index[k]; dup {
-		c.lru.MoveToFront(el)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, dup := s.index[k]; dup {
+		s.lru.MoveToFront(el)
 		return
 	}
-	for c.curBytes+sz > c.capBytes {
-		back := c.lru.Back()
+	for s.curBytes+sz > s.capBytes {
+		back := s.lru.Back()
 		if back == nil {
 			break
 		}
 		e := back.Value.(*matEntry)
-		c.lru.Remove(back)
-		delete(c.index, e.key)
-		c.curBytes -= e.bytes
+		s.lru.Remove(back)
+		delete(s.index, e.key)
+		s.curBytes -= e.bytes
 	}
 	e := &matEntry{key: k, val: cp, bytes: sz}
-	c.index[k] = c.lru.PushFront(e)
-	c.curBytes += sz
+	s.index[k] = s.lru.PushFront(e)
+	s.curBytes += sz
 }
 
-// Len returns the number of cached results.
+// Len returns the number of cached results across all shards.
 func (c *MatCache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.lru.Len()
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.lru.Len()
+		s.mu.Unlock()
+	}
+	return n
 }
 
-// Bytes returns the current cache footprint.
+// Bytes returns the current cache footprint across all shards.
 func (c *MatCache) Bytes() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.curBytes
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.curBytes
+		s.mu.Unlock()
+	}
+	return n
 }
 
-// CacheStats is a snapshot of the materialization cache counters.
+// CacheStats is a snapshot of the materialization cache counters,
+// aggregated over all shards.
 type CacheStats struct {
-	Hits, Misses uint64
-	Entries      int
-	Bytes        int
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Oversized uint64 `json:"oversized"` // Puts rejected: value > per-shard budget
+	Entries   int    `json:"entries"`
+	Bytes     int    `json:"bytes"`
+	Shards    int    `json:"shards"`
 }
 
 // Stats returns a snapshot of cache counters.
 func (c *MatCache) Stats() CacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: c.lru.Len(), Bytes: c.curBytes}
+	st := CacheStats{Shards: matCacheShards}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.Oversized += s.oversized
+		st.Entries += s.lru.Len()
+		st.Bytes += s.curBytes
+		s.mu.Unlock()
+	}
+	return st
 }

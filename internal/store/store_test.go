@@ -148,27 +148,87 @@ func TestMatCacheBasics(t *testing.T) {
 	}
 }
 
+// sameShardKeys returns n distinct input hashes for stage that all map
+// to one shard of c (the cache is sharded; LRU order is per shard).
+func sameShardKeys(c *MatCache, stage uint64, n int) []uint64 {
+	home := c.shardOf(matKey{stage, 0})
+	keys := []uint64{0}
+	for h := uint64(1); len(keys) < n; h++ {
+		if c.shardOf(matKey{stage, h}) == home {
+			keys = append(keys, h)
+		}
+	}
+	return keys
+}
+
 func TestMatCacheLRUEviction(t *testing.T) {
-	// Budget fits ~2 entries of this size.
+	// Per-shard budget fits ~2 entries of this size; keys are chosen to
+	// share one shard so they compete for the same LRU.
 	v := sparse(10, 1, 1)
 	entrySize := v.Clone().MemBytes() + 64
-	c := NewMatCache(entrySize*2 + entrySize/2)
-	c.Put(1, 1, v)
-	c.Put(2, 2, v)
-	// Touch (1,1) so (2,2) is LRU.
-	c.Get(1, 1)
-	c.Put(3, 3, v)
-	if _, ok := c.Get(2, 2); ok {
+	c := NewMatCache((entrySize*2 + entrySize/2) * matCacheShards)
+	ks := sameShardKeys(c, 1, 3)
+	c.Put(1, ks[0], v)
+	c.Put(1, ks[1], v)
+	// Touch ks[0] so ks[1] is LRU.
+	c.Get(1, ks[0])
+	c.Put(1, ks[2], v)
+	if _, ok := c.Get(1, ks[1]); ok {
 		t.Fatal("LRU entry should have been evicted")
 	}
-	if _, ok := c.Get(1, 1); !ok {
+	if _, ok := c.Get(1, ks[0]); !ok {
 		t.Fatal("recently used entry should survive")
 	}
-	if _, ok := c.Get(3, 3); !ok {
+	if _, ok := c.Get(1, ks[2]); !ok {
 		t.Fatal("new entry should be present")
 	}
 	if c.Len() != 2 {
 		t.Fatalf("len=%d", c.Len())
+	}
+}
+
+func TestMatCacheGetInto(t *testing.T) {
+	c := NewMatCache(1 << 20)
+	dst := vector.New(0)
+	if c.GetInto(1, 2, dst) {
+		t.Fatal("empty cache hit")
+	}
+	v := sparse(10, 1, 5)
+	c.Put(1, 2, v)
+	if !c.GetInto(1, 2, dst) || !dst.Equal(v) {
+		t.Fatalf("GetInto mismatch: %v", dst)
+	}
+	// The copy must not alias the cached value.
+	dst.Val[0] = 99
+	dst2 := vector.New(0)
+	if !c.GetInto(1, 2, dst2) || dst2.Val[0] == 99 {
+		t.Fatal("GetInto aliased the cached vector")
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Shards != matCacheShards {
+		t.Fatalf("stats=%+v", st)
+	}
+}
+
+func TestMatCacheShardedBudget(t *testing.T) {
+	// Many distinct keys spread over shards: the total footprint must
+	// stay within the configured budget, with each shard evicting
+	// independently.
+	v := sparse(32, 1, 1, 5, 2, 9, 3)
+	entrySize := v.Clone().MemBytes() + 64
+	budget := entrySize * matCacheShards * 2
+	c := NewMatCache(budget)
+	for i := uint64(0); i < 4*matCacheShards; i++ {
+		c.Put(7, i, v)
+	}
+	if c.Bytes() > budget {
+		t.Fatalf("footprint %d exceeds budget %d", c.Bytes(), budget)
+	}
+	if c.Len() == 0 || c.Len() > 2*matCacheShards {
+		t.Fatalf("len=%d", c.Len())
+	}
+	if st := c.Stats(); st.Entries != c.Len() || st.Bytes != c.Bytes() {
+		t.Fatalf("stats disagree with Len/Bytes: %+v", st)
 	}
 }
 
@@ -179,6 +239,9 @@ func TestMatCacheOversized(t *testing.T) {
 	c.Put(1, 1, big)
 	if c.Len() != 0 {
 		t.Fatal("oversized value must not be cached")
+	}
+	if st := c.Stats(); st.Oversized != 1 {
+		t.Fatalf("oversized rejection must be counted: %+v", st)
 	}
 }
 
