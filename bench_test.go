@@ -316,6 +316,7 @@ func BenchmarkExpScale(b *testing.B)       { experimentBenchmark(b, "scale") }
 func BenchmarkExpReservation(b *testing.B) { experimentBenchmark(b, "reservation") }
 func BenchmarkExpFig14(b *testing.B)       { experimentBenchmark(b, "fig14") }
 func BenchmarkExpBatchSweep(b *testing.B)  { experimentBenchmark(b, "batchsweep") }
+func BenchmarkExpOverload(b *testing.B)    { experimentBenchmark(b, "overload") }
 
 // BenchmarkBatchStage measures single-stage record throughput of a
 // LinearScore stage across batch sizes, in three dispatch modes:

@@ -7,6 +7,7 @@
 //
 //	pretzel-bench -exp fig9            # one experiment at full scale
 //	pretzel-bench -exp deadline        # deadline-aware scheduling shed rates
+//	pretzel-bench -exp overload        # open-loop goodput/shed/p99 across capacity
 //	pretzel-bench -exp all -quick      # everything at reduced scale
 //	pretzel-bench -list
 package main

@@ -37,7 +37,13 @@ func main() {
 		addr       = flag.String("addr", ":8080", "listen address")
 		executors  = flag.Int("executors", 8, "batch-engine executors")
 		cache      = flag.Int("cache", 4096, "prediction cache entries (0 = off)")
-		delay      = flag.Duration("batch-delay", 0, "delayed batching window (0 = request-response)")
+		delay      = flag.Duration("batch-delay", 0, "adaptive batching delay bound (0 = request-response)")
+		batchSLO   = flag.Duration("batch-slo", 0, "AIMD batch latency target (0 = fixed-size flush)")
+		maxBatch   = flag.Int("max-batch", 0, "flushed batch size cap (0 = 256)")
+		maxPending = flag.Int("max-pending", 0, "per-model buffer bound, excess shed as 429 (0 = unbounded)")
+		inflight   = flag.Int("max-in-flight", 0, "global admission limit, excess shed as 429 (0 = unbounded)")
+		reserved   = flag.Int("reserved-high-priority", 0, "in-flight slots reserved for priority=high traffic")
+		perModel   = flag.Int("max-in-flight-per-model", 0, "per-model best-effort admission limit (0 = unbounded)")
 		materalize = flag.Bool("materialize", false, "compile for sub-plan materialization")
 		maxUpload  = flag.Int64("max-upload", 64<<20, "POST /models body limit in bytes")
 	)
@@ -48,7 +54,12 @@ func main() {
 		log.Fatal(err)
 	}
 	objStore := pretzel.NewObjectStore()
-	cfg := pretzel.RuntimeConfig{Executors: *executors}
+	cfg := pretzel.RuntimeConfig{
+		Executors:            *executors,
+		MaxInFlight:          *inflight,
+		ReservedHighPriority: *reserved,
+		MaxInFlightPerModel:  *perModel,
+	}
 	if *materalize {
 		cfg.MatCacheBytes = 256 << 20
 	}
@@ -96,6 +107,9 @@ func main() {
 	fe := pretzel.NewFrontEnd(rt, frontend.Config{
 		CacheEntries:   *cache,
 		BatchDelay:     *delay,
+		BatchSLO:       *batchSLO,
+		MaxBatch:       *maxBatch,
+		MaxPending:     *maxPending,
 		CompileOptions: &opts,
 		MaxUploadBytes: *maxUpload,
 	})

@@ -1,0 +1,188 @@
+// Overload: the admission-controlled overload plane end to end.
+//
+// Starts a runtime with in-flight limits (slots reserved for
+// high-priority traffic) behind a front end with the adaptive
+// micro-batching controller, floods it with best-effort HTTP traffic
+// past capacity, and shows what an operator sees: 429 + Retry-After on
+// the shed requests, served high-priority probes throughout, and the
+// white-box /statz view — admission counters, scheduler queue depths,
+// per-model p50/p95/p99 from the lock-free histogram, and the AIMD
+// batcher's target trajectory.
+//
+//	go run ./examples/overload/main.go
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"pretzel"
+	"pretzel/internal/ml"
+	"pretzel/internal/ops"
+	"pretzel/internal/oven"
+	"pretzel/internal/pipeline"
+	"pretzel/internal/schema"
+	"pretzel/internal/text"
+)
+
+func buildPlan(objStore *pretzel.ObjectStore) *pretzel.Plan {
+	cb, wb := text.NewDictBuilder(), text.NewDictBuilder()
+	for _, doc := range []string{"nice product great wonderful", "bad refund awful broken"} {
+		toks := text.Tokenize(doc, nil)
+		for _, tok := range toks {
+			text.ObserveCharNgrams(cb, []byte(tok), 2, 3)
+		}
+		text.ObserveWordNgrams(wb, toks, 2, nil)
+	}
+	cd, wd := cb.Build(0), wb.Build(0)
+	weights := make([]float32, cd.Size()+wd.Size())
+	if ix := wd.Lookup("nice"); ix >= 0 {
+		weights[cd.Size()+int(ix)] = 3
+	}
+	p := &pipeline.Pipeline{
+		Name:        "sentiment",
+		InputSchema: schema.Text("Text"),
+		Nodes: []pipeline.Node{
+			{Op: &ops.Tokenizer{}, Inputs: []int{pipeline.InputID}},
+			{Op: &ops.CharNgram{MinN: 2, MaxN: 3, Dict: cd}, Inputs: []int{0}},
+			{Op: &ops.WordNgram{MaxN: 2, Dict: wd}, Inputs: []int{0}},
+			{Op: &ops.Concat{Dims: []int{cd.Size(), wd.Size()}}, Inputs: []int{1, 2}},
+			{Op: &ops.LinearPredictor{Model: &ml.LinearModel{Kind: ml.LogisticRegression, Weights: weights}}, Inputs: []int{3}},
+		},
+	}
+	pl, err := oven.Compile(p, objStore, oven.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	return pl
+}
+
+func predict(url, model, input, priority string) (code int, retryAfter string) {
+	body, _ := json.Marshal(map[string]string{"model": model, "input": input, "priority": priority})
+	resp, err := http.Post(url+"/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode, resp.Header.Get("Retry-After")
+}
+
+func main() {
+	objStore := pretzel.NewObjectStore()
+	// 1. Admission limits in the runtime: 32 in-flight slots, 8 of them
+	// reserved for high-priority traffic.
+	rt := pretzel.NewRuntime(objStore, pretzel.RuntimeConfig{
+		Executors:            2,
+		MaxInFlight:          32,
+		ReservedHighPriority: 8,
+	})
+	defer rt.Close()
+	if _, err := rt.Register(buildPlan(objStore)); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Front end with the adaptive batcher: flushes are delay-bounded
+	// (2ms) and size-capped (64), the AIMD target chases a 5ms batch
+	// SLO, and at most 16 requests may buffer per model before
+	// best-effort arrivals get 429.
+	fe := pretzel.NewFrontEnd(rt, pretzel.FrontEndConfig{
+		BatchDelay: 2 * time.Millisecond,
+		MaxBatch:   64,
+		BatchSLO:   5 * time.Millisecond,
+		MaxPending: 16,
+	})
+	srv := httptest.NewServer(fe)
+	defer srv.Close()
+
+	// 3. Best-effort flood: 128 concurrent closed-loop clients for
+	// 300ms — far past what 2 executors serve within the buffer bound.
+	var mu sync.Mutex
+	served, shed := 0, 0
+	var retryAfter string
+	stop := time.Now().Add(300 * time.Millisecond)
+	var wg sync.WaitGroup
+	for c := 0; c < 128; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(stop) {
+				code, ra := predict(srv.URL, "sentiment", "a nice product", "")
+				mu.Lock()
+				switch code {
+				case http.StatusOK:
+					served++
+				case http.StatusTooManyRequests:
+					shed++
+					retryAfter = ra
+				default:
+					log.Fatalf("unexpected status %d", code)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	// 4. ...while a high-priority probe keeps serving every 10ms.
+	hpServed, hpShed := 0, 0
+	for time.Now().Before(stop) {
+		if code, _ := predict(srv.URL, "sentiment", "a nice product", "high"); code == http.StatusOK {
+			hpServed++
+		} else {
+			hpShed++
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	wg.Wait()
+
+	fmt.Printf("best-effort: served=%d shed=%d (429, Retry-After: %s)\n", served, shed, retryAfter)
+	fmt.Printf("high-priority probes: served=%d shed=%d\n", hpServed, hpShed)
+
+	// 5. The operator's view: /statz overload counters.
+	resp, err := http.Get(srv.URL + "/statz")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var statz struct {
+		Admission pretzel.AdmissionStats       `json:"admission"`
+		Models    map[string]pretzel.ModelLoad `json:"models"`
+		Batchers  map[string]struct {
+			Target  int    `json:"target"`
+			Flushes uint64 `json:"flushes"`
+			Records uint64 `json:"records"`
+			Shed    uint64 `json:"shed"`
+			Grows   uint64 `json:"grows"`
+			Shrinks uint64 `json:"shrinks"`
+		} `json:"batchers"`
+		Sched struct {
+			QueueHigh int64 `json:"queue_high"`
+			QueueLow  int64 `json:"queue_low"`
+		} `json:"sched"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&statz); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+
+	fmt.Printf("admission: in_flight=%d shed=%d (limit %d, %d reserved for high priority)\n",
+		statz.Admission.InFlight, statz.Admission.Shed,
+		statz.Admission.MaxInFlight, statz.Admission.ReservedHighPriority)
+	load := statz.Models["sentiment"]
+	fmt.Printf("model sentiment: served=%d p50=%v p95=%v p99=%v\n",
+		load.Latency.Count, load.Latency.P50(), load.Latency.P95(), load.Latency.P99())
+	b := statz.Batchers["sentiment"]
+	fmt.Printf("batcher: target=%d flushes=%d records=%d (avg batch %.1f) shed=%d grows=%d shrinks=%d\n",
+		b.Target, b.Flushes, b.Records, float64(b.Records)/float64(max(b.Flushes, 1)), b.Shed, b.Grows, b.Shrinks)
+	fmt.Printf("scheduler queues after drain: high=%d low=%d\n", statz.Sched.QueueHigh, statz.Sched.QueueLow)
+}
+
+func max(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

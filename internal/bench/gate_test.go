@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `
+goos: linux
+goarch: amd64
+pkg: pretzel
+BenchmarkBatchStage/batch=64/batched-4         	     200	      3456 ns/op	18437120 rec/s	       0 B/op	       0 allocs/op
+BenchmarkBatchStage/batch=64/batched-4         	     200	      4000 ns/op	16000000 rec/s	       0 B/op	       0 allocs/op
+BenchmarkBatchStage/batch=64/per-record-4      	     200	     12000 ns/op	 5100000 rec/s
+BenchmarkScalePoolSharded-1                    	   10000	      5000 ns/op	     160 B/op	       3 allocs/op
+BenchmarkScalePoolSharded-1                    	   10000	      4000 ns/op	     160 B/op	       3 allocs/op
+BenchmarkIrrelevant-4                          	     100	       100 ns/op
+PASS
+ok  	pretzel	2.345s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	res, err := ParseBenchOutput(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// -count=2: the best run wins; the -N proc suffix is stripped.
+	batched := res["BenchmarkBatchStage/batch=64/batched"]
+	if batched.Throughput != 18437120 || batched.Unit != "rec/s" || batched.NsPerOp != 3456 {
+		t.Fatalf("batched %+v", batched)
+	}
+	// No rate metric: throughput derives from ns/op (best = 4000ns).
+	pool := res["BenchmarkScalePoolSharded"]
+	if pool.Unit != "op/s" || pool.NsPerOp != 4000 || pool.Throughput != 1e9/4000 {
+		t.Fatalf("pool %+v", pool)
+	}
+	if _, ok := res["BenchmarkIrrelevant"]; !ok {
+		t.Fatal("all benchmarks are parsed (gating filters later)")
+	}
+}
+
+func TestParseBenchOutputEmpty(t *testing.T) {
+	if _, err := ParseBenchOutput(strings.NewReader("PASS\nok x 1s\n")); err == nil {
+		t.Fatal("no results must error")
+	}
+}
+
+func TestCompareBenchmarks(t *testing.T) {
+	gate := regexp.MustCompile(`^BenchmarkBatchStage/|^BenchmarkScalePool`)
+	baseline := map[string]BenchResult{
+		"BenchmarkBatchStage/batch=64/batched": {Throughput: 1000, Unit: "rec/s"},
+		"BenchmarkScalePoolSharded":            {Throughput: 500, Unit: "op/s"},
+		"BenchmarkScalePoolGlobal":             {Throughput: 400, Unit: "op/s"},
+		"BenchmarkIrrelevant":                  {Throughput: 1},
+	}
+	current := map[string]BenchResult{
+		"BenchmarkBatchStage/batch=64/batched": {Throughput: 900, Unit: "rec/s"}, // -10%: fine
+		"BenchmarkScalePoolSharded":            {Throughput: 300, Unit: "op/s"},  // -40%: regression
+		// BenchmarkScalePoolGlobal missing from the run entirely.
+	}
+	findings := CompareBenchmarks(baseline, current, gate, 0.25)
+	if len(findings) != 3 {
+		t.Fatalf("findings %+v", findings)
+	}
+	byName := map[string]GateFinding{}
+	for _, f := range findings {
+		byName[f.Name] = f
+	}
+	if f := byName["BenchmarkBatchStage/batch=64/batched"]; f.Failed || f.Delta > -0.09 || f.Delta < -0.11 {
+		t.Fatalf("within-threshold drop flagged: %+v", f)
+	}
+	if f := byName["BenchmarkScalePoolSharded"]; !f.Failed || f.Missing {
+		t.Fatalf("regression not flagged: %+v", f)
+	}
+	if f := byName["BenchmarkScalePoolGlobal"]; !f.Failed || !f.Missing {
+		t.Fatalf("missing gated benchmark not flagged: %+v", f)
+	}
+	if _, ok := byName["BenchmarkIrrelevant"]; ok {
+		t.Fatal("non-gated benchmark must not be compared")
+	}
+	// Improvements never fail.
+	better := CompareBenchmarks(baseline,
+		map[string]BenchResult{
+			"BenchmarkBatchStage/batch=64/batched": {Throughput: 2000},
+			"BenchmarkScalePoolSharded":            {Throughput: 501},
+			"BenchmarkScalePoolGlobal":             {Throughput: 400},
+		}, gate, 0.25)
+	for _, f := range better {
+		if f.Failed {
+			t.Fatalf("improvement flagged: %+v", f)
+		}
+	}
+}
+
+func TestBenchArtifactRoundTrip(t *testing.T) {
+	res, err := ParseBenchOutput(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBenchArtifact(&buf, "test run", res); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBenchArtifact(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(res) || back["BenchmarkScalePoolSharded"] != res["BenchmarkScalePoolSharded"] {
+		t.Fatalf("round trip mismatch: %+v vs %+v", back, res)
+	}
+	if _, err := ReadBenchArtifact(strings.NewReader("{}")); err == nil {
+		t.Fatal("empty artifact must error")
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package bench
+
+// raceEnabled reports whether the race detector instruments this build
+// (its instrumentation slows execution ~10×, so wall-clock latency
+// assertions only hold without it).
+const raceEnabled = false

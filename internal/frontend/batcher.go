@@ -1,0 +1,343 @@
+// Adaptive micro-batching controller. PRETZEL's FrontEnd (§4.2)
+// buffers requests and schedules them against latency targets; the old
+// implementation had only a fixed BatchDelay window and spawned one
+// flusher goroutine per model per window. The batcher replaces it with
+// ONE loop goroutine per model that exists only while the model has
+// buffered work (an idle model holds zero goroutines), flushing
+// batches that are both delay-bounded (no request waits longer than
+// BatchDelay) and size-capped (never more than MaxBatch records, and
+// no more than the AIMD target).
+//
+// The target batch size adapts by AIMD against the model's latency
+// SLO: every flush measures the batch's submit-to-completion latency;
+// a flush inside budget grows the target additively (+1), a flush over
+// budget halves it. Under load batches therefore grow toward MaxBatch
+// — amortizing per-stage scheduling over more records, which is what
+// the batch engine is fast at — and shrink as soon as batch latency
+// threatens the SLO. With no SLO configured the target pins to
+// MaxBatch and the batcher degrades to the classic fixed-window,
+// size-capped flush.
+//
+// The batcher is also the front end's admission edge: MaxPending
+// bounds the per-model buffer, and best-effort requests past the bound
+// are shed immediately with runtime.ErrOverloaded (HTTP 429) instead
+// of queueing without bound — under an open-loop flood the buffer, not
+// the latency, absorbs the overload.
+package frontend
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pretzel/internal/runtime"
+	"pretzel/internal/vector"
+)
+
+// defaultMaxBatch caps one flushed batch when Config.MaxBatch is 0.
+const defaultMaxBatch = 256
+
+// batcher is the per-model adaptive micro-batching controller.
+type batcher struct {
+	s     *Server
+	model string
+
+	mu      sync.Mutex
+	queue   []*pendingReq
+	running bool // a loop goroutine is live
+	target  int  // AIMD target batch size
+
+	// kick wakes the loop early when the buffer reaches the target.
+	kick chan struct{}
+
+	// White-box counters (atomic: read by /statz against traffic).
+	flushes   atomic.Uint64
+	records   atomic.Uint64
+	shed      atomic.Uint64
+	grows     atomic.Uint64
+	shrinks   atomic.Uint64
+	flushErrs atomic.Uint64
+}
+
+func newBatcher(s *Server, model string) *batcher {
+	b := &batcher{s: s, model: model, kick: make(chan struct{}, 1)}
+	b.target = b.initialTarget()
+	return b
+}
+
+// maxBatch is the hard size cap of one flushed batch.
+func (b *batcher) maxBatch() int {
+	if b.s.cfg.MaxBatch > 0 {
+		return b.s.cfg.MaxBatch
+	}
+	return defaultMaxBatch
+}
+
+// initialTarget picks the starting AIMD target: with an SLO the
+// controller starts small and earns its batch size (additive growth
+// begins immediately under load); without one there is nothing to
+// adapt against and the target pins to the cap.
+func (b *batcher) initialTarget() int {
+	if b.s.cfg.BatchSLO > 0 {
+		return 1
+	}
+	return b.maxBatch()
+}
+
+// enqueue buffers one request, arming the loop goroutine if the model
+// was idle and kicking it early if the buffer reached the target.
+// Best-effort requests past MaxPending are shed with ErrOverloaded;
+// high-priority requests bypass the buffer bound (they are still
+// subject to the runtime's global MaxInFlight).
+func (b *batcher) enqueue(req *pendingReq) error {
+	b.mu.Lock()
+	if max := b.s.cfg.MaxPending; max > 0 && len(b.queue) >= max && req.prio != runtime.PriorityHigh {
+		b.mu.Unlock()
+		b.shed.Add(1)
+		return fmt.Errorf("%w: model %q has %d requests buffered (max_pending %d)",
+			runtime.ErrOverloaded, b.model, max, max)
+	}
+	b.queue = append(b.queue, req)
+	n, tgt := len(b.queue), b.target
+	wasRunning := b.running
+	b.running = true
+	b.mu.Unlock()
+	if !wasRunning {
+		go b.loop()
+	} else if n >= tgt {
+		select {
+		case b.kick <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+// loop is the model's single flusher goroutine: it lives exactly while
+// the model has buffered requests, flushing a batch whenever the
+// buffer reaches the AIMD target or the oldest buffered request has
+// waited BatchDelay, and exits when the buffer drains.
+func (b *batcher) loop() {
+	timer := time.NewTimer(b.s.cfg.BatchDelay)
+	defer timer.Stop()
+	for {
+		b.mu.Lock()
+		if len(b.queue) == 0 {
+			b.running = false
+			b.mu.Unlock()
+			return
+		}
+		n, tgt := len(b.queue), b.target
+		oldest := b.queue[0].arrival
+		b.mu.Unlock()
+		if n < tgt {
+			// Drop any stale kick left from a window whose size trigger
+			// raced a direct (n >= tgt) flush: consuming it below would
+			// flush this window prematurely. If a fresh kick lands in
+			// this instant instead, the flush merely waits out the
+			// delay bound — the latency contract either way.
+			select {
+			case <-b.kick:
+			default:
+			}
+			if wait := time.Until(oldest.Add(b.s.cfg.BatchDelay)); wait > 0 {
+				if !timer.Stop() {
+					select {
+					case <-timer.C:
+					default:
+					}
+				}
+				timer.Reset(wait)
+				select {
+				case <-b.kick: // buffer reached the target
+				case <-timer.C: // delay bound expired
+				}
+			}
+		}
+		b.flush()
+	}
+}
+
+// flush takes up to min(target, MaxBatch) buffered requests, answers
+// the expired ones, submits the rest as ONE batched job, and feeds the
+// measured batch latency back into the AIMD controller.
+func (b *batcher) flush() {
+	b.mu.Lock()
+	take := b.target
+	if take < 1 {
+		take = 1
+	}
+	if mx := b.maxBatch(); take > mx {
+		take = mx
+	}
+	if take > len(b.queue) {
+		take = len(b.queue)
+	}
+	batch := make([]*pendingReq, take)
+	copy(batch, b.queue)
+	rest := copy(b.queue, b.queue[take:])
+	for i := rest; i < len(b.queue); i++ {
+		b.queue[i] = nil // drop references: flushed requests must be collectable
+	}
+	b.queue = b.queue[:rest]
+	b.mu.Unlock()
+
+	// Requests whose context expired while buffered are answered
+	// immediately and excluded from the batch.
+	live := batch[:0]
+	prio := runtime.PriorityNormal
+	for _, r := range batch {
+		if err := r.ctx.Err(); err != nil {
+			r.reply <- batchReply{err: mapCtxErr(err)}
+			continue
+		}
+		if r.prio == runtime.PriorityHigh {
+			prio = runtime.PriorityHigh
+		}
+		live = append(live, r)
+	}
+	if len(live) == 0 {
+		return
+	}
+	ins := make([]*vector.Vector, len(live))
+	outs := make([]*vector.Vector, len(live))
+	for i, r := range live {
+		ins[i] = vector.New(0)
+		ins[i].SetText(r.input)
+		outs[i] = vector.New(0)
+	}
+	// The batch is shared by many callers, so it runs under the
+	// background context: one caller's cancellation must not abort the
+	// other buffered requests. Any high-priority record promotes the
+	// whole batched job.
+	start := time.Now()
+	err := b.s.rt.PredictRequestBatch(runtime.BatchRequest{Model: b.model, Ins: ins, Outs: outs, Priority: prio})
+	if err == nil {
+		// Only served flushes feed the AIMD controller and the
+		// flush/record counters: a failed submit (model unregistered
+		// mid-flight, runtime shed) returns in microseconds and would
+		// otherwise read as a sub-SLO flush, growing the target on the
+		// back of pure failures.
+		b.adjust(time.Since(start))
+		b.flushes.Add(1)
+		b.records.Add(uint64(len(live)))
+	} else {
+		b.flushErrs.Add(1)
+	}
+	for i, r := range live {
+		if err != nil {
+			r.reply <- batchReply{err: err}
+			continue
+		}
+		r.reply <- batchReply{pred: append([]float32(nil), outs[i].Dense...)}
+	}
+}
+
+// adjust is the AIMD step: batch latency within the SLO grows the
+// target additively, latency over the SLO halves it (never below 1,
+// never above MaxBatch). With no SLO the target pins to MaxBatch.
+func (b *batcher) adjust(batchLatency time.Duration) {
+	slo := b.s.cfg.BatchSLO
+	b.mu.Lock()
+	switch {
+	case slo <= 0:
+		b.target = b.maxBatch()
+	case batchLatency > slo:
+		b.target /= 2
+		if b.target < 1 {
+			b.target = 1
+		}
+		b.shrinks.Add(1)
+	case b.target < b.maxBatch():
+		b.target++
+		b.grows.Add(1)
+	}
+	b.mu.Unlock()
+}
+
+// BatcherStats is the white-box view of one model's adaptive batcher.
+type BatcherStats struct {
+	// Pending is the current buffer depth; Target the AIMD batch size.
+	Pending int `json:"pending"`
+	Target  int `json:"target"`
+	// Flushes/Records count flushed batches and the requests in them.
+	Flushes uint64 `json:"flushes"`
+	Records uint64 `json:"records"`
+	// Shed counts requests rejected at the MaxPending buffer bound.
+	Shed uint64 `json:"shed"`
+	// Grows/Shrinks count AIMD target adjustments in each direction.
+	Grows   uint64 `json:"grows"`
+	Shrinks uint64 `json:"shrinks"`
+	// FlushErrs counts flushes whose batched submit failed outright.
+	FlushErrs uint64 `json:"flush_errs"`
+}
+
+// stats snapshots the batcher's counters.
+func (b *batcher) stats() BatcherStats {
+	b.mu.Lock()
+	pending, target := len(b.queue), b.target
+	b.mu.Unlock()
+	return BatcherStats{
+		Pending:   pending,
+		Target:    target,
+		Flushes:   b.flushes.Load(),
+		Records:   b.records.Load(),
+		Shed:      b.shed.Load(),
+		Grows:     b.grows.Load(),
+		Shrinks:   b.shrinks.Load(),
+		FlushErrs: b.flushErrs.Load(),
+	}
+}
+
+// idle reports whether the batcher currently holds no buffered work
+// and no loop goroutine (test support for the zero-goroutine-when-idle
+// invariant).
+func (b *batcher) idle() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.queue) == 0 && !b.running
+}
+
+// batcherFor returns (creating on first use) the model's batcher.
+func (s *Server) batcherFor(model string) *batcher {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.batchers[model]
+	if !ok {
+		b = newBatcher(s, model)
+		s.batchers[model] = b
+	}
+	return b
+}
+
+// dropBatchers removes the batchers of every reference resolving to
+// the given bare model name (called after an unregister). A loop
+// goroutine still draining a dropped batcher finishes normally — its
+// buffered requests fail with ErrModelNotFound at flush — and later
+// traffic for a re-registered model gets a fresh batcher.
+func (s *Server) dropBatchers(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for ref := range s.batchers {
+		if n, _ := runtime.SplitRef(ref); n == name {
+			delete(s.batchers, ref)
+		}
+	}
+}
+
+// BatcherStats snapshots every model batcher, keyed by the model
+// reference requests used.
+func (s *Server) BatcherStats() map[string]BatcherStats {
+	s.mu.Lock()
+	bs := make(map[string]*batcher, len(s.batchers))
+	for m, b := range s.batchers {
+		bs[m] = b
+	}
+	s.mu.Unlock()
+	out := make(map[string]BatcherStats, len(bs))
+	for m, b := range bs {
+		out[m] = b.stats()
+	}
+	return out
+}

@@ -1,10 +1,13 @@
 // Package frontend implements the PRETZEL FrontEnd (§4.2, §4.3): an HTTP
 // server over the Runtime with the two "external" optimizations other
 // serving systems also apply — prediction-result caching (LRU) and
-// delayed batching (requests buffered for a user-specified time window,
-// then submitted together to the batch engine) — plus the white-box
-// management plane: model listing with per-stage execution counters,
-// zip upload, label moves, deletion and server-wide /statz.
+// adaptive micro-batching (requests buffered per model and flushed
+// delay-bounded and size-capped, with the target batch size adapted by
+// AIMD against a latency SLO) — plus the overload plane (per-model
+// buffer bounds shedding excess load as HTTP 429 + Retry-After) and
+// the white-box management plane: model listing with per-stage
+// execution counters and latency percentiles, zip upload, label moves,
+// deletion and server-wide /statz.
 package frontend
 
 import (
@@ -14,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -26,9 +30,24 @@ import (
 type Config struct {
 	// CacheEntries bounds the prediction-result LRU (0 disables caching).
 	CacheEntries int
-	// BatchDelay buffers requests per model for this window, then submits
-	// them together to the batch engine (0 = request-response engine).
+	// BatchDelay is the adaptive batcher's delay bound: no buffered
+	// request waits longer than this before its batch is flushed
+	// (0 = request-response engine, no batching).
 	BatchDelay time.Duration
+	// MaxBatch caps one flushed batch (0 = 256). The AIMD target never
+	// exceeds it.
+	MaxBatch int
+	// BatchSLO is the per-model batch latency target driving the AIMD
+	// batch-size controller: flushes within the SLO grow the target
+	// batch size additively, flushes over it halve the target. 0
+	// disables adaptation (the target pins to MaxBatch, recovering the
+	// classic fixed-window flush).
+	BatchSLO time.Duration
+	// MaxPending bounds each model's batching buffer: best-effort
+	// requests arriving past the bound are shed with
+	// runtime.ErrOverloaded (HTTP 429 + Retry-After) instead of
+	// queueing without bound (0 = unbounded).
+	MaxPending int
 	// CompileOptions configure compilation of uploaded models
 	// (nil = oven.DefaultOptions).
 	CompileOptions *oven.Options
@@ -44,18 +63,19 @@ type Server struct {
 
 	cache *predCache
 
-	mu      sync.Mutex
-	pending map[string][]*pendingReq
+	mu       sync.Mutex
+	batchers map[string]*batcher
 
 	mux *http.ServeMux
 }
 
-// pendingReq is one delayed-batching request awaiting its window.
+// pendingReq is one delayed-batching request awaiting its batch.
 type pendingReq struct {
-	input string
-	ctx   context.Context
-	prio  runtime.Priority
-	reply chan batchReply
+	input   string
+	ctx     context.Context
+	prio    runtime.Priority
+	arrival time.Time
+	reply   chan batchReply
 }
 
 type batchReply struct {
@@ -65,7 +85,7 @@ type batchReply struct {
 
 // New builds a FrontEnd over a runtime.
 func New(rt *runtime.Runtime, cfg Config) *Server {
-	s := &Server{rt: rt, cfg: cfg, start: time.Now(), pending: make(map[string][]*pendingReq)}
+	s := &Server{rt: rt, cfg: cfg, start: time.Now(), batchers: make(map[string]*batcher)}
 	if cfg.CacheEntries > 0 {
 		s.cache = newPredCache(cfg.CacheEntries)
 	}
@@ -93,6 +113,8 @@ func statusFor(err error) int {
 		errors.Is(err, context.DeadlineExceeded),
 		errors.Is(err, context.Canceled):
 		return http.StatusGatewayTimeout
+	case errors.Is(err, runtime.ErrOverloaded):
+		return http.StatusTooManyRequests
 	case errors.Is(err, runtime.ErrClosed):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, runtime.ErrInvalidInput):
@@ -100,6 +122,17 @@ func statusFor(err error) int {
 	default:
 		return http.StatusInternalServerError
 	}
+}
+
+// retryAfterSeconds is the Retry-After hint sent with 429 responses:
+// at least one second, stretched to cover the batching window when the
+// front end batches (by then the buffer has had a full flush cycle).
+func (s *Server) retryAfterSeconds() int {
+	secs := int((s.cfg.BatchDelay + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 // mapCtxErr folds raw context errors (surfaced by the delayed-batching
@@ -164,7 +197,13 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	pred, cached, err := s.predict(ctx, req.Model, req.Input, deadline, prio)
 	if err != nil {
-		writeJSON(w, statusFor(err), Response{Error: err.Error()})
+		code := statusFor(err)
+		if code == http.StatusTooManyRequests {
+			// Shed load tells clients when to come back: standard 429
+			// backoff semantics.
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		}
+		writeJSON(w, code, Response{Error: err.Error()})
 		return
 	}
 	writeJSON(w, http.StatusOK, Response{Prediction: pred, Cached: cached})
@@ -240,77 +279,32 @@ func (s *Server) predictDirect(ctx context.Context, model, input string, deadlin
 	return append([]float32(nil), out.Dense...), nil
 }
 
-// predictDelayed buffers the request; the model's window flusher submits
-// the whole buffer to the batch engine.
+// predictDelayed hands the request to the model's adaptive batcher,
+// which flushes it with its batch (delay-bounded, size-capped) as ONE
+// batched job: every pipeline stage becomes a single event processing
+// all buffered records, paying scheduling overhead once per stage
+// instead of once per record — the point of delayed batching.
 func (s *Server) predictDelayed(ctx context.Context, model, input string, prio runtime.Priority) ([]float32, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, mapCtxErr(err)
 	}
-	req := &pendingReq{input: input, ctx: ctx, prio: prio, reply: make(chan batchReply, 1)}
-	s.mu.Lock()
-	s.pending[model] = append(s.pending[model], req)
-	if len(s.pending[model]) == 1 {
-		// First request of the window: arm the flusher.
-		go s.flushAfter(model)
+	// Only resolvable model references get a batcher: an unknown ref
+	// fails here (404) instead of permanently installing a per-string
+	// batcher that attacker- or typo-driven traffic could grow without
+	// bound.
+	if _, _, err := s.rt.Resolve(model); err != nil {
+		return nil, err
 	}
-	s.mu.Unlock()
+	req := &pendingReq{input: input, ctx: ctx, prio: prio, arrival: time.Now(), reply: make(chan batchReply, 1)}
+	if err := s.batcherFor(model).enqueue(req); err != nil {
+		return nil, err
+	}
 	select {
 	case r := <-req.reply:
 		return r.pred, r.err
 	case <-ctx.Done():
 		// The batch still runs (it is shared); only this waiter leaves.
 		return nil, mapCtxErr(ctx.Err())
-	}
-}
-
-// flushAfter waits the batching window and submits the whole buffer as
-// ONE batched job: every pipeline stage becomes a single event
-// processing all buffered records, paying scheduling overhead once per
-// stage instead of once per record — the point of delayed batching.
-func (s *Server) flushAfter(model string) {
-	time.Sleep(s.cfg.BatchDelay)
-	s.mu.Lock()
-	batch := s.pending[model]
-	delete(s.pending, model)
-	s.mu.Unlock()
-	if len(batch) == 0 {
-		return
-	}
-	// Requests whose context expired while buffered are answered
-	// immediately and excluded from the batch.
-	live := batch[:0]
-	prio := runtime.PriorityNormal
-	for _, r := range batch {
-		if err := r.ctx.Err(); err != nil {
-			r.reply <- batchReply{err: mapCtxErr(err)}
-			continue
-		}
-		if r.prio == runtime.PriorityHigh {
-			prio = runtime.PriorityHigh
-		}
-		live = append(live, r)
-	}
-	if len(live) == 0 {
-		return
-	}
-	ins := make([]*vector.Vector, len(live))
-	outs := make([]*vector.Vector, len(live))
-	for i, r := range live {
-		ins[i] = vector.New(0)
-		ins[i].SetText(r.input)
-		outs[i] = vector.New(0)
-	}
-	// The batch is shared by many callers, so it runs under the
-	// background context: one caller's cancellation must not abort the
-	// other buffered requests. Any high-priority record promotes the
-	// whole batched job.
-	err := s.rt.PredictRequestBatch(runtime.BatchRequest{Model: model, Ins: ins, Outs: outs, Priority: prio})
-	for i, r := range live {
-		if err != nil {
-			r.reply <- batchReply{err: err}
-			continue
-		}
-		r.reply <- batchReply{pred: append([]float32(nil), outs[i].Dense...)}
 	}
 }
 

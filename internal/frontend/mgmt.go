@@ -50,8 +50,18 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, ModelsResponse{Models: s.rt.Models()})
 }
 
+// ModelDetail is the GET /models/{name} body: the runtime's white-box
+// view (stages, labels, per-model load with latency percentiles) plus
+// the front end's adaptive-batcher state when the model has one.
+type ModelDetail struct {
+	runtime.ModelInfo
+	Batcher *BatcherStats `json:"batcher,omitempty"`
+}
+
 // handleModelGet returns one model's white-box view, including the
-// per-stage latency and execution counters gathered by the executors.
+// per-stage latency and execution counters gathered by the executors,
+// the model's overload-plane load (in-flight, shed, p50/p95/p99) and
+// its adaptive-batcher state.
 func (s *Server) handleModelGet(w http.ResponseWriter, r *http.Request) {
 	name, _ := runtime.SplitRef(r.PathValue("name"))
 	info, err := s.rt.ModelInfo(name)
@@ -59,7 +69,26 @@ func (s *Server) handleModelGet(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, info)
+	detail := ModelDetail{ModelInfo: info}
+	// The batcher map is keyed by the reference requests used; surface
+	// any batcher whose reference resolves to this bare name.
+	for ref, bst := range s.BatcherStats() {
+		if n, _ := runtime.SplitRef(ref); n == name {
+			bst := bst
+			if detail.Batcher == nil {
+				detail.Batcher = &bst
+			} else {
+				detail.Batcher.Pending += bst.Pending
+				detail.Batcher.Flushes += bst.Flushes
+				detail.Batcher.Records += bst.Records
+				detail.Batcher.Shed += bst.Shed
+				detail.Batcher.Grows += bst.Grows
+				detail.Batcher.Shrinks += bst.Shrinks
+				detail.Batcher.FlushErrs += bst.FlushErrs
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, detail)
 }
 
 // RegisterResponse is the POST /models success body.
@@ -137,6 +166,8 @@ func (s *Server) handleModelDelete(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
+	name, _ := runtime.SplitRef(ref)
+	s.dropBatchers(name)
 	writeJSON(w, http.StatusOK, map[string]any{"deleted": ref})
 }
 
@@ -163,19 +194,26 @@ func (s *Server) handleSetLabel(w http.ResponseWriter, r *http.Request) {
 }
 
 // Statz is the GET /statz body: the server-wide white-box counters.
+// Sched carries the scheduler queue depths, Admission the global
+// in-flight/shed state, Models the per-model latency percentiles and
+// load counters, Batchers the adaptive micro-batching controllers.
 type Statz struct {
-	UptimeSeconds float64              `json:"uptime_seconds"`
-	Catalog       runtime.CatalogStats `json:"catalog"`
-	RRPool        vector.PoolStats     `json:"rr_pool"`
-	BatchPool     vector.PoolStats     `json:"batch_pool"`
-	Sched         sched.Stats          `json:"sched"`
-	Cache         CacheStats           `json:"cache"`
-	MatCache      store.CacheStats     `json:"mat_cache"`
-	ObjectStore   store.Stats          `json:"object_store"`
+	UptimeSeconds float64                      `json:"uptime_seconds"`
+	Catalog       runtime.CatalogStats         `json:"catalog"`
+	RRPool        vector.PoolStats             `json:"rr_pool"`
+	BatchPool     vector.PoolStats             `json:"batch_pool"`
+	Sched         sched.Stats                  `json:"sched"`
+	Admission     runtime.AdmissionStats       `json:"admission"`
+	Models        map[string]runtime.ModelLoad `json:"models,omitempty"`
+	Batchers      map[string]BatcherStats      `json:"batchers,omitempty"`
+	Cache         CacheStats                   `json:"cache"`
+	MatCache      store.CacheStats             `json:"mat_cache"`
+	ObjectStore   store.Stats                  `json:"object_store"`
 }
 
-// handleStatz reports pool, catalog, scheduler and cache statistics,
-// including materialization-cache and Object Store effectiveness.
+// handleStatz reports pool, catalog, scheduler, cache and overload
+// statistics: queue depths, admission state, per-model p50/p95/p99,
+// in-flight and shed counts, and the adaptive batchers' targets.
 func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, Statz{
 		UptimeSeconds: time.Since(s.start).Seconds(),
@@ -183,6 +221,9 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		RRPool:        s.rt.PoolStats(),
 		BatchPool:     s.rt.BatchPoolStats(),
 		Sched:         s.rt.SchedStats(),
+		Admission:     s.rt.AdmissionStats(),
+		Models:        s.rt.ModelLoads(),
+		Batchers:      s.BatcherStats(),
 		Cache:         s.CacheStats(),
 		MatCache:      s.rt.MatCacheStats(),
 		ObjectStore:   s.rt.ObjectStoreStats(),

@@ -1,0 +1,362 @@
+package frontend
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	goruntime "runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"pretzel/internal/oven"
+	"pretzel/internal/runtime"
+	"pretzel/internal/store"
+)
+
+// TestBatcherShedsAtMaxPending drives the buffer bound deterministically:
+// with the loop goroutine parked, best-effort requests past MaxPending
+// are shed with ErrOverloaded, high-priority requests bypass the bound,
+// and the buffered requests still serve once the loop runs.
+func TestBatcherShedsAtMaxPending(t *testing.T) {
+	rt := saRuntime(t)
+	fe := New(rt, Config{BatchDelay: time.Millisecond, MaxPending: 2})
+	b := fe.batcherFor("sa")
+	// Park the loop: enqueue must not arm a flusher while we fill the
+	// buffer, so the bound is hit deterministically.
+	b.mu.Lock()
+	b.running = true
+	b.mu.Unlock()
+
+	mk := func(prio runtime.Priority) *pendingReq {
+		return &pendingReq{input: "a nice product", ctx: context.Background(), prio: prio,
+			arrival: time.Now(), reply: make(chan batchReply, 1)}
+	}
+	reqs := []*pendingReq{mk(runtime.PriorityNormal), mk(runtime.PriorityNormal)}
+	for i, r := range reqs {
+		if err := b.enqueue(r); err != nil {
+			t.Fatalf("enqueue %d within bound: %v", i, err)
+		}
+	}
+	// Buffer full: best effort is shed…
+	if err := b.enqueue(mk(runtime.PriorityNormal)); !errors.Is(err, runtime.ErrOverloaded) {
+		t.Fatalf("best effort past MaxPending: %v", err)
+	}
+	// …high priority is not.
+	hp := mk(runtime.PriorityHigh)
+	if err := b.enqueue(hp); err != nil {
+		t.Fatalf("high priority must bypass MaxPending: %v", err)
+	}
+	if st := b.stats(); st.Shed != 1 || st.Pending != 3 {
+		t.Fatalf("batcher stats %+v", st)
+	}
+
+	// Un-park and run the loop: everything buffered must serve.
+	go b.loop()
+	for i, r := range append(reqs, hp) {
+		select {
+		case rep := <-r.reply:
+			if rep.err != nil || len(rep.pred) == 0 {
+				t.Fatalf("reply %d: %+v", i, rep)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("request %d never served after un-park", i)
+		}
+	}
+	if st := b.stats(); st.Pending != 0 || st.Records != 3 {
+		t.Fatalf("batcher stats after drain %+v", st)
+	}
+}
+
+// TestAIMDGrowsWithinSLO: every flush inside a generous SLO grows the
+// target batch size additively until it pins at MaxBatch.
+func TestAIMDGrowsWithinSLO(t *testing.T) {
+	rt := saRuntime(t)
+	fe := New(rt, Config{BatchDelay: time.Millisecond, BatchSLO: time.Hour, MaxBatch: 8})
+	b := fe.batcherFor("sa")
+	if b.stats().Target != 1 {
+		t.Fatalf("SLO batcher must start at target 1, got %d", b.stats().Target)
+	}
+	for i := 0; i < 12; i++ {
+		if _, _, err := fe.Predict("sa", "a nice product"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := b.stats()
+	if st.Target != 8 {
+		t.Fatalf("target must grow to MaxBatch under in-SLO flushes: %+v", st)
+	}
+	if st.Grows < 7 || st.Shrinks != 0 {
+		t.Fatalf("AIMD accounting %+v", st)
+	}
+}
+
+// TestAIMDShrinksPastSLO: with an impossible SLO every flush is over
+// budget, so the target halves back to (and stays at) 1.
+func TestAIMDShrinksPastSLO(t *testing.T) {
+	rt := saRuntime(t)
+	fe := New(rt, Config{BatchDelay: time.Millisecond, BatchSLO: time.Nanosecond, MaxBatch: 8})
+	for i := 0; i < 6; i++ {
+		if _, _, err := fe.Predict("sa", "a nice product"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := fe.batcherFor("sa").stats()
+	if st.Target != 1 || st.Shrinks == 0 || st.Grows != 0 {
+		t.Fatalf("AIMD must shrink to 1 past SLO: %+v", st)
+	}
+}
+
+// TestIdleModelZeroGoroutines is the flushAfter regression test: the
+// adaptive batcher runs ONE loop goroutine per model only while the
+// model has buffered work; an idle model holds zero goroutines.
+func TestIdleModelZeroGoroutines(t *testing.T) {
+	rt := saRuntime(t)
+	fe := New(rt, Config{BatchDelay: 2 * time.Millisecond})
+	base := goruntime.NumGoroutine()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				if _, _, err := fe.Predict("sa", "a nice product"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// The batcher must go idle (queue drained, loop exited) and the
+	// goroutine count must return to the pre-traffic baseline.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if fe.batcherFor("sa").idle() && goruntime.NumGoroutine() <= base {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("idle model still holds goroutines: base=%d now=%d idle=%v",
+				base, goruntime.NumGoroutine(), fe.batcherFor("sa").idle())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// More traffic after idling must still serve (the loop re-arms).
+	if _, _, err := fe.Predict("sa", "a nice product"); err != nil {
+		t.Fatalf("predict after idle: %v", err)
+	}
+}
+
+// TestBatcherMapBounded: unresolvable model references never install a
+// batcher (404 first), and unregistering a model drops its batchers —
+// the batcher map cannot grow without bound under junk traffic.
+func TestBatcherMapBounded(t *testing.T) {
+	rt := saRuntime(t)
+	fe := New(rt, Config{BatchDelay: time.Millisecond})
+	for i := 0; i < 10; i++ {
+		if _, _, err := fe.Predict(fmt.Sprintf("junk-%d", i), "x"); !errors.Is(err, runtime.ErrModelNotFound) {
+			t.Fatalf("junk model: %v", err)
+		}
+	}
+	if n := len(fe.BatcherStats()); n != 0 {
+		t.Fatalf("junk references installed %d batchers", n)
+	}
+	// Real traffic (bare name and explicit version ref) installs
+	// batchers; unregistering drops them all.
+	if _, _, err := fe.Predict("sa", "a nice product"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fe.Predict("sa@1", "a nice product"); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(fe.BatcherStats()); n != 2 {
+		t.Fatalf("expected 2 batchers, have %d", n)
+	}
+	srv := httptest.NewServer(fe)
+	defer srv.Close()
+	if resp, body := do(t, http.MethodDelete, srv.URL+"/models/sa", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: %d %s", resp.StatusCode, body)
+	}
+	if n := len(fe.BatcherStats()); n != 0 {
+		t.Fatalf("batchers survived unregister: %d", n)
+	}
+}
+
+// TestFlushErrorsDoNotFeedAIMD: a flush whose batched submit fails
+// (model unregistered between enqueue and flush) counts as a flush
+// error and must not grow the AIMD target or the flush/record counters.
+func TestFlushErrorsDoNotFeedAIMD(t *testing.T) {
+	rt := saRuntime(t)
+	fe := New(rt, Config{BatchDelay: time.Millisecond, BatchSLO: time.Hour, MaxBatch: 8})
+	b := fe.batcherFor("sa")
+	// Park the loop, buffer one request, then pull the model out from
+	// under it before running the flush.
+	b.mu.Lock()
+	b.running = true
+	b.mu.Unlock()
+	req := &pendingReq{input: "x", ctx: context.Background(), prio: runtime.PriorityNormal,
+		arrival: time.Now(), reply: make(chan batchReply, 1)}
+	if err := b.enqueue(req); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Unregister("sa"); err != nil {
+		t.Fatal(err)
+	}
+	go b.loop()
+	rep := <-req.reply
+	if !errors.Is(rep.err, runtime.ErrModelNotFound) {
+		t.Fatalf("flush after unregister: %+v", rep)
+	}
+	st := b.stats()
+	if st.FlushErrs != 1 || st.Flushes != 0 || st.Records != 0 || st.Grows != 0 || st.Target != 1 {
+		t.Fatalf("failed flush leaked into AIMD/counters: %+v", st)
+	}
+}
+
+// TestHTTP429WithRetryAfter: a runtime with zero best-effort capacity
+// maps ErrOverloaded to 429 with a Retry-After hint on the direct path.
+func TestHTTP429WithRetryAfter(t *testing.T) {
+	rt := overloadedRuntime(t)
+	fe := New(rt, Config{})
+	srv := httptest.NewServer(fe)
+	defer srv.Close()
+
+	body, _ := json.Marshal(Request{Model: "sa", Input: "a nice product"})
+	resp, err := http.Post(srv.URL+"/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out Response
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusTooManyRequests || out.Error == "" {
+		t.Fatalf("shed request: code=%d out=%+v", resp.StatusCode, out)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 must carry Retry-After")
+	}
+	// High priority still serves through the same server.
+	hp, _ := json.Marshal(Request{Model: "sa", Input: "a nice product", Priority: "high"})
+	resp2, err := http.Post(srv.URL+"/predict", "application/json", bytes.NewReader(hp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("high-priority request shed: code=%d", resp2.StatusCode)
+	}
+}
+
+// overloadedRuntime builds a runtime whose best-effort admission
+// capacity is zero (all MaxInFlight slots reserved for high priority),
+// so every best-effort request is shed deterministically.
+func overloadedRuntime(t testing.TB) *runtime.Runtime {
+	t.Helper()
+	objStore := store.New()
+	rt := runtime.New(objStore, runtime.Config{Executors: 2, MaxInFlight: 2, ReservedHighPriority: 2})
+	t.Cleanup(rt.Close)
+	pl, err := oven.Compile(saPipe(t, "sa", 0), objStore, oven.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Register(pl); err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+// TestStatzOverloadPlane floods a batching front end with a saturating
+// burst and checks the whole overload plane end to end over HTTP: some
+// requests serve, some are shed as 429, and /statz + GET /models/{name}
+// expose the shed counters, queue/batcher state and the per-model
+// latency percentiles from the lock-free histogram. Run with -race in
+// CI, this is also the concurrency test for the batcher counters.
+func TestStatzOverloadPlane(t *testing.T) {
+	rt := saRuntime(t)
+	// MaxPending 1 with a 20ms delay bound and an unreachable size
+	// target (MaxBatch 256 default, no SLO) makes shedding
+	// deterministic: each window holds exactly one buffered request
+	// for the full 20ms, so every best-effort arrival during the
+	// window is shed and the window's own request serves.
+	fe := New(rt, Config{BatchDelay: 20 * time.Millisecond, MaxPending: 1})
+	srv := httptest.NewServer(fe)
+	defer srv.Close()
+
+	var served, shed int
+	for burst := 0; burst < 10 && (served == 0 || shed == 0); burst++ {
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for g := 0; g < 64; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				out, code := postPredict(t, srv, "sa", "a nice product")
+				mu.Lock()
+				defer mu.Unlock()
+				switch code {
+				case http.StatusOK:
+					served++
+				case http.StatusTooManyRequests:
+					if out.Error == "" {
+						t.Error("429 without error body")
+					}
+					shed++
+				default:
+					t.Errorf("unexpected code %d (%+v)", code, out)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	if served == 0 || shed == 0 {
+		t.Fatalf("saturating burst must both serve and shed: served=%d shed=%d", served, shed)
+	}
+
+	resp, body := do(t, http.MethodGet, srv.URL+"/statz", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("statz code=%d", resp.StatusCode)
+	}
+	var st Statz
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("statz decode: %v\n%s", err, body)
+	}
+	bst, ok := st.Batchers["sa"]
+	if !ok || bst.Shed == 0 || bst.Flushes == 0 || uint64(shed) != bst.Shed {
+		t.Fatalf("statz batchers %+v (shed=%d)", st.Batchers, shed)
+	}
+	ml, ok := st.Models["sa"]
+	if !ok || ml.Latency.Count == 0 || ml.Latency.P50Nanos <= 0 ||
+		ml.Latency.P95Nanos < ml.Latency.P50Nanos || ml.Latency.P99Nanos < ml.Latency.P95Nanos {
+		t.Fatalf("statz per-model latency %+v", ml)
+	}
+	if ml.InFlight != 0 || st.Admission.InFlight != 0 {
+		t.Fatalf("in-flight must drain: model=%+v admission=%+v", ml, st.Admission)
+	}
+	if st.Sched.QueueHigh != 0 || st.Sched.QueueLow != 0 {
+		t.Fatalf("queues must drain: %+v", st.Sched)
+	}
+
+	// GET /models/{name} carries the same load view plus batcher state.
+	resp, body = do(t, http.MethodGet, srv.URL+"/models/sa", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("model get code=%d", resp.StatusCode)
+	}
+	var detail ModelDetail
+	if err := json.Unmarshal(body, &detail); err != nil {
+		t.Fatal(err)
+	}
+	if detail.Load.Latency.Count == 0 || detail.Load.Latency.P99Nanos <= 0 {
+		t.Fatalf("model detail load %+v", detail.Load)
+	}
+	if detail.Batcher == nil || detail.Batcher.Shed != bst.Shed {
+		t.Fatalf("model detail batcher %+v want shed=%d", detail.Batcher, bst.Shed)
+	}
+}

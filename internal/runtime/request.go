@@ -28,6 +28,10 @@ var (
 	ErrClosed = errors.New("runtime: runtime closed")
 	// ErrInvalidInput reports a malformed request or registration.
 	ErrInvalidInput = errors.New("runtime: invalid input")
+	// ErrOverloaded reports a request shed at admission because the
+	// configured in-flight limits are exhausted: the server is over
+	// capacity and the caller should back off and retry (HTTP 429).
+	ErrOverloaded = errors.New("runtime: overloaded")
 )
 
 // Priority selects the batch-engine queue class for submitted requests.
@@ -110,6 +114,50 @@ func deadlineNS(t time.Time) (ns int64, err error) {
 	return ns, nil
 }
 
+// admit applies admission control to one resolved request: it reserves
+// an in-flight slot against the global and per-model limits or sheds
+// the request with ErrOverloaded. Best-effort (PriorityNormal) traffic
+// is admitted only up to MaxInFlight - ReservedHighPriority globally
+// and MaxInFlightPerModel per model; PriorityHigh traffic may use the
+// reserved headroom and bypasses the per-model limit. The admitted
+// path is two atomic adds — no locks, no allocation — so it rides the
+// zero-alloc warm Predict path. The caller must pair a successful
+// admit with exactly one exit.
+func (rt *Runtime) admit(r *Registered, prio Priority) error {
+	if limit := int64(rt.cfg.MaxInFlight); limit > 0 {
+		allowed := limit
+		if prio != PriorityHigh {
+			allowed -= int64(rt.cfg.ReservedHighPriority)
+		}
+		if cur := rt.inflight.Add(1); cur > allowed {
+			rt.inflight.Add(-1)
+			rt.shedCnt.Add(1)
+			r.stats.shed.Add(1)
+			return fmt.Errorf("%w: %d requests in flight (best-effort limit %d of %d)", ErrOverloaded, cur-1, allowed, limit)
+		}
+	} else {
+		rt.inflight.Add(1)
+	}
+	if pm := int64(rt.cfg.MaxInFlightPerModel); pm > 0 && prio != PriorityHigh {
+		if r.stats.inflight.Add(1) > pm {
+			r.stats.inflight.Add(-1)
+			rt.inflight.Add(-1)
+			rt.shedCnt.Add(1)
+			r.stats.shed.Add(1)
+			return fmt.Errorf("%w: model %q at per-model in-flight limit (%d)", ErrOverloaded, r.Name, pm)
+		}
+	} else {
+		r.stats.inflight.Add(1)
+	}
+	return nil
+}
+
+// exit releases the in-flight slot reserved by admit.
+func (rt *Runtime) exit(r *Registered) {
+	r.stats.inflight.Add(-1)
+	rt.inflight.Add(-1)
+}
+
 // PredictRequest serves one request on the request-response engine:
 // execution is inlined in the calling goroutine (no scheduling
 // overhead; §4.2.1). Cancellation and deadline are checked before every
@@ -134,7 +182,20 @@ func (rt *Runtime) PredictRequest(req Request) error {
 	if err != nil {
 		return err
 	}
-	defer r.release()
+	if err := rt.admit(r, req.Priority); err != nil {
+		r.release()
+		return err
+	}
+	start := time.Now()
+	// Deferred so a panicking kernel (recovered by net/http) can never
+	// leak the admission slot or the version pin — a leaked pin would
+	// wedge Unregister forever and a leaked slot would shed traffic
+	// against phantom in-flight requests.
+	defer func() {
+		rt.exit(r)
+		r.stats.lat.Record(time.Since(start))
+		r.release()
+	}()
 	ec := rt.execPool.Get().(*plan.Exec)
 	ec.Ctx = req.Ctx
 	ec.DeadlineNS = ns
@@ -181,6 +242,14 @@ func (rt *Runtime) SubmitRequestBatch(req BatchRequest) (*Ticket, error) {
 	if err != nil {
 		return nil, err
 	}
+	// One batch job occupies one admission slot: the unit the limits
+	// bound is scheduler work, and a batched flush is one job. (The
+	// HTTP front end additionally bounds its per-model buffer with
+	// MaxPending, shedding individual buffered requests.)
+	if err := rt.admit(r, req.Priority); err != nil {
+		r.release()
+		return nil, err
+	}
 	j := sched.NewBatchJob(r.Plan, req.Ins, req.Outs, rt.matCache)
 	if req.Ctx != nil {
 		j.SetContext(req.Ctx)
@@ -190,8 +259,15 @@ func (rt *Runtime) SubmitRequestBatch(req BatchRequest) (*Ticket, error) {
 	}
 	j.SetHighPriority(req.Priority == PriorityHigh)
 	// The version stays pinned (Unregister drains it) until the job
-	// finishes, even if the caller never Waits.
-	j.SetOnDone(func(error) { r.release() })
+	// finishes, even if the caller never Waits. Completion releases the
+	// admission slot and records end-to-end latency (queue wait
+	// included) in the model's histogram.
+	start := time.Now()
+	j.SetOnDone(func(error) {
+		rt.exit(r)
+		r.stats.lat.Record(time.Since(start))
+		r.release()
+	})
 	rt.sched.Submit(j)
 	return &Ticket{Model: fmt.Sprintf("%s@%d", r.Name, r.Version), job: j}, nil
 }

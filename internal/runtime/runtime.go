@@ -24,6 +24,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"pretzel/internal/metrics"
 	"pretzel/internal/plan"
 	"pretzel/internal/sched"
 	"pretzel/internal/store"
@@ -54,6 +55,22 @@ type Config struct {
 	// DisableBatchKernels forces the batch engine onto the per-record
 	// kernel fallback (the batchsweep ablation baseline).
 	DisableBatchKernels bool
+
+	// MaxInFlight bounds concurrently admitted requests across all
+	// models (0 = no limit). When the limit is reached, further
+	// best-effort requests are shed at admission with ErrOverloaded
+	// instead of queuing without bound.
+	MaxInFlight int
+	// ReservedHighPriority holds back this many of the MaxInFlight
+	// slots for PriorityHigh requests: best-effort traffic is admitted
+	// only up to MaxInFlight - ReservedHighPriority, so reserved
+	// traffic keeps admission capacity even under a best-effort flood.
+	ReservedHighPriority int
+	// MaxInFlightPerModel bounds concurrently admitted best-effort
+	// requests per model name (0 = no limit), so one hot model cannot
+	// starve the rest. PriorityHigh requests bypass the per-model limit
+	// (they remain subject to the global MaxInFlight).
+	MaxInFlightPerModel int
 }
 
 // Registered is one installed version of a model.
@@ -66,15 +83,40 @@ type Registered struct {
 	// inflight tracks requests resolved to this version; Unregister
 	// waits for it to drain after unlinking the version.
 	inflight sync.WaitGroup
+
+	// stats points at the per-name overload-plane state shared by every
+	// version of the model, so admission and latency recording work off
+	// the already-resolved registration without another map lookup.
+	stats *modelStats
 }
 
 // release ends one in-flight request against this version.
 func (r *Registered) release() { r.inflight.Done() }
 
+// modelStats is the per-model overload-plane state shared by all
+// versions of one name: the lock-free hot-path latency histogram and
+// the admission counters. Everything here is atomic — it sits on the
+// zero-alloc warm Predict path.
+type modelStats struct {
+	lat      metrics.Histogram
+	inflight atomic.Int64
+	shed     atomic.Uint64
+}
+
+// load snapshots the per-model overload counters.
+func (ms *modelStats) load() ModelLoad {
+	return ModelLoad{
+		InFlight: ms.inflight.Load(),
+		Shed:     ms.shed.Load(),
+		Latency:  ms.lat.Snapshot(),
+	}
+}
+
 // model groups the installed versions of one name with its labels.
 type model struct {
 	versions map[int]*Registered
 	labels   map[string]int
+	stats    *modelStats
 }
 
 // latest returns the highest installed version (0 when empty).
@@ -102,6 +144,11 @@ type Runtime struct {
 
 	catalogHits   uint64
 	catalogMisses uint64
+
+	// Global admission state: requests currently admitted (both
+	// engines) and requests shed at admission with ErrOverloaded.
+	inflight atomic.Int64
+	shedCnt  atomic.Uint64
 
 	closed atomic.Bool
 
@@ -327,7 +374,7 @@ func (rt *Runtime) register(p *plan.Plan, name string, version int, requireNewMo
 		return nil, fmt.Errorf("runtime: model %q already registered (register %s@<version> to add a version)", name, name)
 	}
 	if !exists {
-		m = &model{versions: make(map[int]*Registered), labels: make(map[string]int)}
+		m = &model{versions: make(map[int]*Registered), labels: make(map[string]int), stats: &modelStats{}}
 	}
 	if version <= 0 {
 		version = m.latest() + 1
@@ -348,7 +395,7 @@ func (rt *Runtime) register(p *plan.Plan, name string, version int, requireNewMo
 		rt.catalogMisses++
 	}
 	rt.nextID++
-	r := &Registered{ID: rt.nextID, Name: name, Version: version, Plan: p}
+	r := &Registered{ID: rt.nextID, Name: name, Version: version, Plan: p, stats: m.stats}
 	m.versions[version] = r
 	if len(m.versions) == 1 {
 		m.labels[LabelStable] = version
@@ -488,10 +535,21 @@ type VersionInfo struct {
 	Stages  []StageInfo `json:"stages"`
 }
 
-// ModelInfo describes one model: its labels and installed versions.
+// ModelLoad is the per-model overload-plane snapshot: requests
+// currently in flight, requests shed at admission, and the hot-path
+// latency percentiles from the lock-free histogram.
+type ModelLoad struct {
+	InFlight int64                     `json:"in_flight"`
+	Shed     uint64                    `json:"shed"`
+	Latency  metrics.HistogramSnapshot `json:"latency"`
+}
+
+// ModelInfo describes one model: its labels, installed versions and
+// overload-plane load counters.
 type ModelInfo struct {
 	Name     string         `json:"name"`
 	Labels   map[string]int `json:"labels"`
+	Load     ModelLoad      `json:"load"`
 	Versions []VersionInfo  `json:"versions"`
 }
 
@@ -519,7 +577,7 @@ func stageInfos(p *plan.Plan) []StageInfo {
 }
 
 func (m *model) info(name string) ModelInfo {
-	mi := ModelInfo{Name: name, Labels: make(map[string]int, len(m.labels))}
+	mi := ModelInfo{Name: name, Labels: make(map[string]int, len(m.labels)), Load: m.stats.load()}
 	for l, v := range m.labels {
 		mi.Labels[l] = v
 	}
@@ -565,6 +623,40 @@ func (rt *Runtime) ModelInfo(name string) (ModelInfo, error) {
 		return ModelInfo{}, fmt.Errorf("%w: %q", ErrModelNotFound, name)
 	}
 	return m.info(name), nil
+}
+
+// AdmissionStats is the global admission-control snapshot: requests
+// currently admitted across both engines, requests shed with
+// ErrOverloaded, and the configured limits.
+type AdmissionStats struct {
+	InFlight             int64  `json:"in_flight"`
+	Shed                 uint64 `json:"shed"`
+	MaxInFlight          int    `json:"max_in_flight"`
+	ReservedHighPriority int    `json:"reserved_high_priority"`
+	MaxInFlightPerModel  int    `json:"max_in_flight_per_model"`
+}
+
+// AdmissionStats returns a snapshot of the global admission state.
+func (rt *Runtime) AdmissionStats() AdmissionStats {
+	return AdmissionStats{
+		InFlight:             rt.inflight.Load(),
+		Shed:                 rt.shedCnt.Load(),
+		MaxInFlight:          rt.cfg.MaxInFlight,
+		ReservedHighPriority: rt.cfg.ReservedHighPriority,
+		MaxInFlightPerModel:  rt.cfg.MaxInFlightPerModel,
+	}
+}
+
+// ModelLoads returns the per-model overload counters keyed by bare
+// model name (the /statz view of the per-model histograms).
+func (rt *Runtime) ModelLoads() map[string]ModelLoad {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	out := make(map[string]ModelLoad, len(rt.models))
+	for n, m := range rt.models {
+		out[n] = m.stats.load()
+	}
+	return out
 }
 
 // Reserve dedicates cores (and their vector pools) to one plan

@@ -306,6 +306,17 @@ func (q *queueSet) wake(n int) {
 	q.wakeMu.Unlock()
 }
 
+// depth sums the queued-event counters across shards: the set's
+// high/low queue depths. Lock-free (reads the per-shard atomics), so
+// the admission plane and /statz can poll it against serving traffic.
+func (q *queueSet) depth() (hi, lo int64) {
+	for i := range q.shards {
+		hi += int64(q.shards[i].hi.Load())
+		lo += int64(q.shards[i].lo.Load())
+	}
+	return hi, lo
+}
+
 // anyWork reports whether any shard holds a queued event.
 func (q *queueSet) anyWork() bool {
 	for i := range q.shards {
@@ -427,23 +438,52 @@ type Stats struct {
 	Failed    uint64 `json:"failed"`
 	Expired   uint64 `json:"expired"`
 
+	// QueueHigh/QueueLow are the currently queued stage events across
+	// every shard (shared + reservations): started-pipeline stages wait
+	// in the high queues, not-yet-started pipeline heads in the low
+	// queues. The overload plane watches these depths.
+	QueueHigh int64 `json:"queue_high"`
+	QueueLow  int64 `json:"queue_low"`
+
 	Executors    int `json:"executors"`
 	Reservations int `json:"reservations"`
 }
 
-// Stats returns a snapshot of the scheduler's job counters.
+// Stats returns a snapshot of the scheduler's job counters and queue
+// depths.
 func (s *Scheduler) Stats() Stats {
 	s.mu.Lock()
 	nres := len(s.reservations)
+	sets := make([]*queueSet, 0, 1+nres)
+	sets = append(sets, s.shared)
+	for _, qs := range s.reservations {
+		sets = append(sets, qs)
+	}
 	s.mu.Unlock()
+	var hi, lo int64
+	for _, qs := range sets {
+		h, l := qs.depth()
+		hi += h
+		lo += l
+	}
 	return Stats{
 		Submitted:    s.submitted.Load(),
 		Completed:    s.completed.Load(),
 		Failed:       s.failedCnt.Load(),
 		Expired:      s.expired.Load(),
+		QueueHigh:    hi,
+		QueueLow:     lo,
 		Executors:    s.cfg.Executors,
 		Reservations: nres,
 	}
+}
+
+// QueueDepth returns the total queued stage events (high + low) across
+// every queue set — the scheduler-side backlog the admission plane and
+// the adaptive batcher react to.
+func (s *Scheduler) QueueDepth() int64 {
+	st := s.Stats()
+	return st.QueueHigh + st.QueueLow
 }
 
 // New starts a scheduler with the given configuration.

@@ -589,6 +589,61 @@ func TestBatchJobBranchingPlan(t *testing.T) {
 	}
 }
 
+// TestQueueDepthAccounting: the per-shard hi/lo atomic counters roll up
+// into queue depths on the queue set and into Scheduler.Stats, covering
+// the shared set and reservations alike.
+func TestQueueDepthAccounting(t *testing.T) {
+	q := newQueueSet(2)
+	if hi, lo := q.depth(); hi != 0 || lo != 0 {
+		t.Fatalf("empty set depth hi=%d lo=%d", hi, lo)
+	}
+	q.push(event{stage: 0}, false, 0)
+	q.push(event{stage: 1}, true, 1)
+	q.pushN([]event{{stage: 2}, {stage: 3}}, false, 1)
+	if hi, lo := q.depth(); hi != 1 || lo != 3 {
+		t.Fatalf("depth after pushes hi=%d lo=%d, want 1/3", hi, lo)
+	}
+	if _, ok := q.pop(0); !ok {
+		t.Fatal("pop")
+	}
+	if hi, lo := q.depth(); hi != 0 || lo != 3 {
+		t.Fatalf("depth after high pop hi=%d lo=%d, want 0/3", hi, lo)
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := q.pop(0); !ok {
+			t.Fatal("pop low")
+		}
+	}
+	if hi, lo := q.depth(); hi != 0 || lo != 0 {
+		t.Fatalf("drained depth hi=%d lo=%d", hi, lo)
+	}
+	q.close()
+
+	// Scheduler-level: an idle scheduler (with a reservation, so both
+	// queue sets are swept) reports zero depth; after serving traffic it
+	// returns to zero.
+	s := New(Config{Executors: 1})
+	defer s.Close()
+	if err := s.Reserve("vip", 1); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.QueueHigh != 0 || st.QueueLow != 0 || s.QueueDepth() != 0 {
+		t.Fatalf("idle stats %+v", st)
+	}
+	pl := saPlan(t, "vip")
+	in, out := vector.New(0), vector.New(0)
+	in.SetText("nice")
+	j := NewJob(pl, in, out, nil)
+	s.Submit(j)
+	if err := j.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if d := s.QueueDepth(); d != 0 {
+		t.Fatalf("depth %d after drain", d)
+	}
+}
+
 // TestExpiredJobShedding: jobs whose context or deadline expired are
 // dropped before any stage dispatch and accounted in Stats.
 func TestExpiredJobShedding(t *testing.T) {

@@ -96,6 +96,11 @@ type (
 	Registered = runtime.Registered
 	// ModelInfo is the white-box view of one registered model.
 	ModelInfo = runtime.ModelInfo
+	// ModelLoad is the per-model overload-plane snapshot (in-flight,
+	// shed, latency percentiles).
+	ModelLoad = runtime.ModelLoad
+	// AdmissionStats is the global admission-control snapshot.
+	AdmissionStats = runtime.AdmissionStats
 	// FrontEnd is the HTTP serving layer.
 	FrontEnd = frontend.Server
 	// FrontEndConfig parameterizes the front end.
@@ -109,6 +114,9 @@ var (
 	ErrCanceled         = runtime.ErrCanceled
 	ErrClosed           = runtime.ErrClosed
 	ErrInvalidInput     = runtime.ErrInvalidInput
+	// ErrOverloaded reports a request shed at admission because the
+	// configured in-flight limits are exhausted (HTTP 429 + Retry-After).
+	ErrOverloaded = runtime.ErrOverloaded
 )
 
 // Request priorities and the default label.
