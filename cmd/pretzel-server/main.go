@@ -1,7 +1,9 @@
-// Command pretzel-server loads a model repository (zips exported by
+// Command pretzel-server serves predictions over HTTP with a
+// white-box management plane. The same binary runs in two modes:
+//
+// Node mode (default): loads a model repository (zips exported by
 // pretzel-train), compiles every pipeline into a model plan sharing
-// parameters through the Object Store, and serves predictions over HTTP
-// with a white-box management plane:
+// parameters through the Object Store, and serves from a local engine:
 //
 //	POST   /predict {"model":"sa-001","input":"a nice product","timeout_ms":50}
 //	GET    /models                     models, labels, versions
@@ -10,30 +12,46 @@
 //	POST   /models/sa-001/labels       {"label":"stable","version":2}  hot swap
 //	DELETE /models/sa-001@1            unregister one version (drains first)
 //	GET    /statz                      pool / catalog / scheduler / cache stats
-//	GET    /healthz
+//	GET    /healthz                    liveness
+//	GET    /readyz                     readiness (runtime open, not saturated)
+//
+// Router mode (-router -nodes=host:a,host:b): serves the same API over
+// a cluster routing engine — models are placed on K of N nodes by
+// consistent hashing, predictions proxy to owner nodes with failover
+// and circuit breaking, registrations fan out to the owner set.
+//
+// Both modes shut down gracefully on SIGINT/SIGTERM: the front end
+// drains its batchers (buffered requests flush, new ones get 503), the
+// HTTP server finishes in-flight requests, then the engine closes.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"pretzel"
+	"pretzel/internal/cluster"
 	"pretzel/internal/frontend"
 	"pretzel/internal/ops"
 	"pretzel/internal/oven"
 	"pretzel/internal/pipeline"
+	"pretzel/internal/serving"
 	"pretzel/internal/store"
 )
 
 func main() {
 	var (
-		dir        = flag.String("models", "models", "model repository directory")
+		dir        = flag.String("models", "models", "model repository directory (node mode; missing = start empty)")
 		addr       = flag.String("addr", ":8080", "listen address")
 		executors  = flag.Int("executors", 8, "batch-engine executors")
 		cache      = flag.Int("cache", 4096, "prediction cache entries (0 = off)")
@@ -46,28 +64,122 @@ func main() {
 		perModel   = flag.Int("max-in-flight-per-model", 0, "per-model best-effort admission limit (0 = unbounded)")
 		materalize = flag.Bool("materialize", false, "compile for sub-plan materialization")
 		maxUpload  = flag.Int64("max-upload", 64<<20, "POST /models body limit in bytes")
+		drainWait  = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for draining batchers and in-flight requests")
+
+		router      = flag.Bool("router", false, "run as cluster router instead of serving node")
+		nodes       = flag.String("nodes", "", "router mode: comma-separated node addresses (host:port or http://host:port)")
+		replication = flag.Int("replication", 2, "router mode: placement factor K (each model on K of N nodes)")
+		probeEvery  = flag.Duration("probe-interval", 500*time.Millisecond, "router mode: node health-check interval")
 	)
 	flag.Parse()
 
-	entries, err := os.ReadDir(*dir)
-	if err != nil {
+	var (
+		eng   serving.Engine
+		feCfg = frontend.Config{
+			CacheEntries:   *cache,
+			BatchDelay:     *delay,
+			BatchSLO:       *batchSLO,
+			MaxBatch:       *maxBatch,
+			MaxPending:     *maxPending,
+			MaxUploadBytes: *maxUpload,
+		}
+		descrip string
+	)
+	if *router {
+		var members []cluster.Member
+		for _, a := range strings.Split(*nodes, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				members = append(members, cluster.Member{Addr: a})
+			}
+		}
+		if len(members) == 0 {
+			log.Fatal("router mode needs -nodes=host:port,host:port,...")
+		}
+		r, err := cluster.NewRouter(members, cluster.Config{
+			Replication:   *replication,
+			ProbeInterval: *probeEvery,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		eng = r
+		descrip = fmt.Sprintf("router over %d nodes (replication %d)", len(members), *replication)
+	} else {
+		local, n, err := buildNode(*dir, *executors, *inflight, *reserved, *perModel, *materalize)
+		if err != nil {
+			log.Fatal(err)
+		}
+		feCfg.CompileOptions = &local.opts
+		eng = local.eng
+		descrip = fmt.Sprintf("node serving %d models", n)
+	}
+
+	fe := frontend.New(eng, feCfg)
+	srv := &http.Server{Addr: *addr, Handler: fe}
+
+	// Graceful shutdown: on SIGINT/SIGTERM stop taking new predictions
+	// (503), flush every buffered batch, let in-flight HTTP requests
+	// finish, then close the engine. Without this, killing the process
+	// drops whole buffered batches on the floor.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ctx.Done()
+		log.Printf("shutting down: draining batchers (budget %v)", *drainWait)
+		dctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		if err := fe.Drain(dctx); err != nil {
+			log.Printf("drain: %v (buffered requests may be dropped)", err)
+		}
+		if err := srv.Shutdown(dctx); err != nil {
+			log.Printf("http shutdown: %v", err)
+		}
+		_ = eng.Close()
+	}()
+
+	fmt.Printf("serving on %s as %s (management plane: /models, /statz, /healthz, /readyz)\n", *addr, descrip)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
+	<-done
+	log.Print("shutdown complete")
+}
+
+// nodeParts bundles what node mode hands back to main.
+type nodeParts struct {
+	eng  *serving.Local
+	opts oven.Options
+}
+
+// buildNode loads the model repository into a fresh runtime and wraps
+// it as a local engine. A missing repository directory starts the node
+// empty (cluster nodes receive their models from the router).
+func buildNode(dir string, executors, inflight, reserved, perModel int, materialize bool) (*nodeParts, int, error) {
 	objStore := pretzel.NewObjectStore()
 	cfg := pretzel.RuntimeConfig{
-		Executors:            *executors,
-		MaxInFlight:          *inflight,
-		ReservedHighPriority: *reserved,
-		MaxInFlightPerModel:  *perModel,
+		Executors:            executors,
+		MaxInFlight:          inflight,
+		ReservedHighPriority: reserved,
+		MaxInFlightPerModel:  perModel,
 	}
-	if *materalize {
+	if materialize {
 		cfg.MatCacheBytes = 256 << 20
 	}
 	rt := pretzel.NewRuntime(objStore, cfg)
-	defer rt.Close()
 
 	opts := oven.DefaultOptions()
-	opts.Materialization = *materalize
+	opts.Materialization = materialize
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			return nil, 0, err
+		}
+		log.Printf("model repository %q missing, starting empty", dir)
+		entries = nil
+	}
 	// Share operator instances across model files by serialized-bytes
 	// checksum (§4.1.3): loading 250 similar pipelines deserializes each
 	// distinct dictionary once.
@@ -83,36 +195,27 @@ func main() {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".zip") {
 			continue
 		}
-		raw, err := os.ReadFile(filepath.Join(*dir, e.Name()))
+		raw, err := os.ReadFile(filepath.Join(dir, e.Name()))
 		if err != nil {
-			log.Fatal(err)
+			return nil, 0, err
 		}
 		p, err := pipeline.ImportBytesWith(raw, resolve)
 		if err != nil {
-			log.Fatalf("%s: %v", e.Name(), err)
+			return nil, 0, fmt.Errorf("%s: %w", e.Name(), err)
 		}
 		pln, err := pretzel.Compile(p, objStore, opts)
 		if err != nil {
-			log.Fatalf("%s: %v", e.Name(), err)
+			return nil, 0, fmt.Errorf("%s: %w", e.Name(), err)
 		}
 		if _, err := rt.Register(pln); err != nil {
-			log.Fatalf("%s: %v", e.Name(), err)
+			return nil, 0, fmt.Errorf("%s: %w", e.Name(), err)
 		}
 		n++
 	}
-	st := objStore.Stats()
-	fmt.Printf("registered %d plans in %v (object store: %d unique params, %d dedup hits)\n",
-		n, time.Since(t0).Round(time.Millisecond), st.Unique, st.Hits)
-
-	fe := pretzel.NewFrontEnd(rt, frontend.Config{
-		CacheEntries:   *cache,
-		BatchDelay:     *delay,
-		BatchSLO:       *batchSLO,
-		MaxBatch:       *maxBatch,
-		MaxPending:     *maxPending,
-		CompileOptions: &opts,
-		MaxUploadBytes: *maxUpload,
-	})
-	fmt.Printf("serving on %s (management plane: /models, /statz)\n", *addr)
-	log.Fatal(http.ListenAndServe(*addr, fe))
+	if n > 0 {
+		st := objStore.Stats()
+		fmt.Printf("registered %d plans in %v (object store: %d unique params, %d dedup hits)\n",
+			n, time.Since(t0).Round(time.Millisecond), st.Unique, st.Hits)
+	}
+	return &nodeParts{eng: serving.NewLocal(rt, &opts), opts: opts}, n, nil
 }

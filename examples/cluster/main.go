@@ -1,0 +1,176 @@
+// Cluster: the sharded serving tier end to end, in one process.
+//
+// Starts three PRETZEL nodes (each a real runtime behind a real HTTP
+// front end), puts the consistent-hash router in front of them with
+// replication K=2, and walks the whole story:
+//
+//  1. register a model through the router — it lands on exactly 2 of
+//     the 3 nodes (placement, not replicate-everywhere), so fleet
+//     memory for the model is 2x a single node, not 3x;
+//
+//  2. serve routed predictions through a front end over the router —
+//     byte-identical API to a single node;
+//
+//  3. kill the model's primary owner mid-load — requests fail over to
+//     the surviving replica, success rate stays 100%, and the dead
+//     node's circuit breaker opens;
+//
+//  4. read the operator's view: /statz cluster stats with per-node
+//     health, breaker state and forwarding counters.
+//
+//     go run ./examples/cluster/main.go
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"pretzel"
+	"pretzel/internal/ml"
+	"pretzel/internal/ops"
+	"pretzel/internal/pipeline"
+	"pretzel/internal/schema"
+	"pretzel/internal/text"
+)
+
+func buildZip() []byte {
+	cb, wb := text.NewDictBuilder(), text.NewDictBuilder()
+	for _, doc := range []string{"nice product great wonderful", "bad refund awful broken"} {
+		toks := text.Tokenize(doc, nil)
+		for _, tok := range toks {
+			text.ObserveCharNgrams(cb, []byte(tok), 2, 3)
+		}
+		text.ObserveWordNgrams(wb, toks, 2, nil)
+	}
+	cd, wd := cb.Build(0), wb.Build(0)
+	weights := make([]float32, cd.Size()+wd.Size())
+	if ix := wd.Lookup("nice"); ix >= 0 {
+		weights[cd.Size()+int(ix)] = 3
+	}
+	p := &pipeline.Pipeline{
+		Name:        "sentiment",
+		InputSchema: schema.Text("Text"),
+		Nodes: []pipeline.Node{
+			{Op: &ops.Tokenizer{}, Inputs: []int{pipeline.InputID}},
+			{Op: &ops.CharNgram{MinN: 2, MaxN: 3, Dict: cd}, Inputs: []int{0}},
+			{Op: &ops.WordNgram{MaxN: 2, Dict: wd}, Inputs: []int{0}},
+			{Op: &ops.Concat{Dims: []int{cd.Size(), wd.Size()}}, Inputs: []int{1, 2}},
+			{Op: &ops.LinearPredictor{Model: &ml.LinearModel{Kind: ml.LogisticRegression, Weights: weights}}, Inputs: []int{3}},
+		},
+	}
+	zip, err := p.ExportBytes()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return zip
+}
+
+func main() {
+	// 1. Three nodes: runtime + front end + HTTP listener each. In
+	// production these are three `pretzel-server` processes; in one
+	// process the moving parts are identical.
+	type node struct {
+		rt  *pretzel.Runtime
+		srv *httptest.Server
+	}
+	nodes := map[string]*node{}
+	var members []pretzel.ClusterMember
+	for i := 0; i < 3; i++ {
+		id := fmt.Sprintf("node%d", i)
+		rt := pretzel.NewRuntime(pretzel.NewObjectStore(), pretzel.RuntimeConfig{Executors: 2})
+		defer rt.Close()
+		srv := httptest.NewServer(pretzel.NewFrontEnd(rt, pretzel.FrontEndConfig{}))
+		defer srv.Close()
+		nodes[id] = &node{rt: rt, srv: srv}
+		members = append(members, pretzel.ClusterMember{ID: id, Addr: srv.URL})
+	}
+
+	// 2. The router: consistent-hash placement with replication K=2,
+	// 50ms health probes, failover + circuit breaking per node.
+	router, err := pretzel.NewRouterEngine(members, pretzel.ClusterConfig{
+		Replication:   2,
+		ProbeInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer router.Close()
+
+	// 3. Register through the router: the model lands on its 2 owners.
+	reg, err := router.Register(buildZip(), pretzel.RegisterOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("registered %s@%d on %v (K=2 of N=3)\n", reg.Name, reg.Version, reg.Nodes)
+	fleet, holders := 0, 0
+	for id, n := range nodes {
+		mb := n.rt.MemBytes()
+		fleet += mb
+		if mb > 0 {
+			holders++
+			fmt.Printf("  %s holds the model (%d bytes)\n", id, mb)
+		}
+	}
+	fmt.Printf("fleet memory %d bytes across %d holders — sublinear vs replicate-everywhere\n\n", fleet, holders)
+
+	// 4. A front end over the router: same HTTP API, now cluster-wide.
+	gw := httptest.NewServer(pretzel.NewFrontEndOver(router, pretzel.FrontEndConfig{}))
+	defer gw.Close()
+	body := []byte(`{"model":"sentiment","input":"a nice product"}`)
+	resp, err := http.Post(gw.URL+"/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var pr struct {
+		Prediction []float32 `json:"prediction"`
+	}
+	_ = json.NewDecoder(resp.Body).Decode(&pr)
+	resp.Body.Close()
+	fmt.Printf("routed predict via gateway: %v (status %d)\n\n", pr.Prediction, resp.StatusCode)
+
+	// 5. Kill the primary owner mid-load: failover keeps every request
+	// green on the surviving replica.
+	owners := router.Owners("sentiment")
+	fmt.Printf("owners (primary first): %v — killing %s mid-load\n", owners, owners[0])
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	served, failed := 0, 0
+	stop := time.Now().Add(250 * time.Millisecond)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(stop) {
+				if _, err := router.Predict(context.Background(), "sentiment", "a nice product", pretzel.PredictOptions{}); err != nil {
+					mu.Lock()
+					failed++
+					mu.Unlock()
+				} else {
+					mu.Lock()
+					served++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	time.Sleep(30 * time.Millisecond)
+	nodes[owners[0]].srv.Close() // the node is gone, conns and all
+	wg.Wait()
+	fmt.Printf("under failover: served=%d failed=%d (100%% success via replica)\n\n", served, failed)
+
+	// 6. The operator's cluster view.
+	st := router.Stats()
+	fmt.Printf("cluster: replication=%d forwards=%d failovers=%d\n",
+		st.Cluster.Replication, st.Cluster.Forwards, st.Cluster.Failovers)
+	for _, ns := range st.Cluster.Nodes {
+		fmt.Printf("  %-7s healthy=%-5v ready=%-5v breaker=%-9s forwards=%-5d failures=%d\n",
+			ns.ID, ns.Healthy, ns.Ready, ns.Breaker, ns.Forwards, ns.Failures)
+	}
+}

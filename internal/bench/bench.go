@@ -232,6 +232,7 @@ func Experiments() []Experiment {
 		{"deadline", "deadline-aware scheduling: expired jobs shed before dispatch", runDeadline},
 		{"batchsweep", "batch-aware kernels: records/s vs batch size, batched vs per-record", runBatchSweep},
 		{"overload", "admission-controlled overload: open-loop goodput, shed rate, p99 across capacity", runOverload},
+		{"cluster", "sharded cluster tier: aggregate goodput + p99 vs node count at fixed per-node capacity", runClusterExp},
 	}
 }
 

@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestClusterGoodputScales is the cluster-tier acceptance bar: at
+// fixed per-node service capacity, a 3-node sharded cluster (K=1) must
+// deliver >= 1.8x the aggregate goodput of a single node under the
+// same closed-loop load. Node capacity is pinned by the paced engine
+// (a sleep, not CPU), so the ratio holds on small CI machines too.
+func TestClusterGoodputScales(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster load test in -short mode")
+	}
+	const (
+		service         = 2 * time.Millisecond
+		workersPerModel = 2
+		minModels       = 12
+		window          = 400 * time.Millisecond
+	)
+	goodput := func(n int) float64 {
+		c, err := startCluster(n, 1, minModels, service)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.close()
+		res := runClusterLoad(c, workersPerModel, window)
+		if res.Failed != 0 {
+			t.Fatalf("%d-node run: %d requests failed", n, res.Failed)
+		}
+		if res.Completed == 0 {
+			t.Fatalf("%d-node run served nothing", n)
+		}
+		return res.Goodput()
+	}
+	g1 := goodput(1)
+	g3 := goodput(3)
+	ratio := g3 / g1
+	t.Logf("goodput: 1 node %.0f req/s, 3 nodes %.0f req/s (%.2fx)", g1, g3, ratio)
+	if ratio < 1.8 {
+		t.Fatalf("3-node aggregate goodput only %.2fx of 1-node (want >= 1.8x)", ratio)
+	}
+}
+
+// TestClusterExperimentRuns smoke-runs the bench driver end to end.
+func TestClusterExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster experiment in -short mode")
+	}
+	env := QuickEnv()
+	env.LoadWindow = 150 * time.Millisecond
+	var buf bytes.Buffer
+	if err := Run(&buf, env, "cluster"); err != nil {
+		t.Fatalf("cluster experiment: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"3-node", "goodput", "per-node"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("experiment output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"pretzel/internal/metrics"
 	"pretzel/internal/oven"
 	"pretzel/internal/runtime"
+	"pretzel/internal/serving"
 	"pretzel/internal/store"
 	"pretzel/internal/vector"
 )
@@ -304,7 +305,7 @@ func runFig11(w io.Writer, env *Env) error {
 			rt.Close()
 			return err
 		}
-		fe := frontend.New(rt, frontend.Config{})
+		fe := frontend.New(serving.NewLocal(rt, nil), frontend.Config{})
 		srv := httptest.NewServer(fe)
 		pzE2E, pzPred, err := clientLatency(srv.URL, names, set.input, rt, env.HotIters)
 		srv.Close()

@@ -16,6 +16,7 @@ import (
 	"pretzel/internal/metrics"
 	"pretzel/internal/oven"
 	"pretzel/internal/runtime"
+	"pretzel/internal/serving"
 	"pretzel/internal/store"
 	"pretzel/internal/vector"
 	"pretzel/internal/workload"
@@ -509,7 +510,7 @@ func runFig14(w io.Writer, env *Env) error {
 		rt.Close()
 		return err
 	}
-	fe := frontend.New(rt, frontend.Config{})
+	fe := frontend.New(serving.NewLocal(rt, nil), frontend.Config{})
 	srv := httptest.NewServer(fe)
 	pz, err := httpLoadSweep(srv.URL, names, inputs, env)
 	srv.Close()

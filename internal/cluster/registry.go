@@ -1,0 +1,191 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Member identifies one serving node.
+type Member struct {
+	// ID is the node's stable identity on the hash ring (defaults to
+	// Addr). Placement is keyed by ID, so a node that moves address
+	// keeps its models.
+	ID string
+	// Addr is the node's HTTP base URL ("http://host:port"; a bare
+	// "host:port" gets the http scheme).
+	Addr string
+}
+
+// normalize fills defaults: scheme and ID.
+func (m Member) normalize() Member {
+	m.Addr = strings.TrimRight(m.Addr, "/")
+	if m.Addr != "" && !strings.Contains(m.Addr, "://") {
+		m.Addr = "http://" + m.Addr
+	}
+	if m.ID == "" {
+		m.ID = m.Addr
+	}
+	return m
+}
+
+// memberState is one member plus its live health/traffic state.
+type memberState struct {
+	Member
+
+	// healthy/ready mirror the node's /healthz and /readyz probes.
+	// Members start optimistic (true) so a router can serve before the
+	// first probe round; the breaker absorbs the gap if a node is
+	// actually down.
+	healthy atomic.Bool
+	ready   atomic.Bool
+	lastErr atomic.Value // string
+
+	br *breaker
+
+	forwards atomic.Uint64
+	failures atomic.Uint64
+}
+
+// registry tracks the member set and probes each node's /healthz and
+// /readyz on an interval — the cluster reuse of the mgmt-plane probes
+// every node already serves.
+type registry struct {
+	client   *http.Client
+	interval time.Duration
+
+	mu      sync.RWMutex
+	members map[string]*memberState
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+func newRegistry(members []Member, client *http.Client, interval time.Duration, brThreshold int, brCooldown time.Duration) (*registry, error) {
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	r := &registry{
+		client:   client,
+		interval: interval,
+		members:  make(map[string]*memberState, len(members)),
+		stop:     make(chan struct{}),
+	}
+	for _, m := range members {
+		m = m.normalize()
+		if m.Addr == "" {
+			return nil, fmt.Errorf("cluster: member %q has no address", m.ID)
+		}
+		if _, dup := r.members[m.ID]; dup {
+			return nil, fmt.Errorf("cluster: duplicate member id %q", m.ID)
+		}
+		ms := &memberState{Member: m, br: newBreaker(brThreshold, brCooldown)}
+		ms.healthy.Store(true)
+		ms.ready.Store(true)
+		r.members[m.ID] = ms
+	}
+	r.wg.Add(1)
+	go r.probeLoop()
+	return r, nil
+}
+
+// get returns a member by ID (nil when unknown).
+func (r *registry) get(id string) *memberState {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.members[id]
+}
+
+// all returns every member, unordered.
+func (r *registry) all() []*memberState {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*memberState, 0, len(r.members))
+	for _, m := range r.members {
+		out = append(out, m)
+	}
+	return out
+}
+
+// close stops the probe loop.
+func (r *registry) close() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	r.wg.Wait()
+}
+
+// probeLoop health-checks every member each interval until closed.
+func (r *registry) probeLoop() {
+	defer r.wg.Done()
+	// First round immediately: a router should converge on real node
+	// state in one interval, not two.
+	r.probeAll()
+	t := time.NewTicker(r.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+			r.probeAll()
+		}
+	}
+}
+
+func (r *registry) probeAll() {
+	var wg sync.WaitGroup
+	for _, m := range r.all() {
+		wg.Add(1)
+		go func(m *memberState) {
+			defer wg.Done()
+			r.probe(m)
+		}(m)
+	}
+	wg.Wait()
+}
+
+// probe hits one node's /healthz and /readyz. Each request gets its
+// own timeout budget: a slow healthz must not starve the readyz check
+// into falsely marking a ready node not-ready.
+func (r *registry) probe(m *memberState) {
+	ok, err := r.check(m.Addr + "/healthz")
+	m.healthy.Store(ok)
+	if err != nil {
+		m.lastErr.Store(err.Error())
+		m.ready.Store(false)
+		return
+	}
+	ready, err := r.check(m.Addr + "/readyz")
+	m.ready.Store(ready)
+	if err != nil {
+		m.lastErr.Store(err.Error())
+	} else {
+		m.lastErr.Store("")
+	}
+}
+
+func (r *registry) check(url string) (bool, error) {
+	timeout := r.interval
+	if timeout > time.Second {
+		timeout = time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false, fmt.Errorf("%s: status %d", url, resp.StatusCode)
+	}
+	return true, nil
+}

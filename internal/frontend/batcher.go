@@ -26,13 +26,14 @@
 package frontend
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"pretzel/internal/runtime"
-	"pretzel/internal/vector"
+	"pretzel/internal/serving"
 )
 
 // defaultMaxBatch caps one flushed batch when Config.MaxBatch is 0.
@@ -106,10 +107,7 @@ func (b *batcher) enqueue(req *pendingReq) error {
 	if !wasRunning {
 		go b.loop()
 	} else if n >= tgt {
-		select {
-		case b.kick <- struct{}{}:
-		default:
-		}
+		b.kickNow()
 	}
 	return nil
 }
@@ -189,7 +187,7 @@ func (b *batcher) flush() {
 	prio := runtime.PriorityNormal
 	for _, r := range batch {
 		if err := r.ctx.Err(); err != nil {
-			r.reply <- batchReply{err: mapCtxErr(err)}
+			r.reply <- batchReply{err: serving.MapCtxErr(err)}
 			continue
 		}
 		if r.prio == runtime.PriorityHigh {
@@ -200,19 +198,16 @@ func (b *batcher) flush() {
 	if len(live) == 0 {
 		return
 	}
-	ins := make([]*vector.Vector, len(live))
-	outs := make([]*vector.Vector, len(live))
+	inputs := make([]string, len(live))
 	for i, r := range live {
-		ins[i] = vector.New(0)
-		ins[i].SetText(r.input)
-		outs[i] = vector.New(0)
+		inputs[i] = r.input
 	}
 	// The batch is shared by many callers, so it runs under the
 	// background context: one caller's cancellation must not abort the
 	// other buffered requests. Any high-priority record promotes the
 	// whole batched job.
 	start := time.Now()
-	err := b.s.rt.PredictRequestBatch(runtime.BatchRequest{Model: b.model, Ins: ins, Outs: outs, Priority: prio})
+	preds, err := b.s.eng.PredictBatch(context.Background(), b.model, inputs, serving.PredictOptions{Priority: prio})
 	if err == nil {
 		// Only served flushes feed the AIMD controller and the
 		// flush/record counters: a failed submit (model unregistered
@@ -230,7 +225,16 @@ func (b *batcher) flush() {
 			r.reply <- batchReply{err: err}
 			continue
 		}
-		r.reply <- batchReply{pred: append([]float32(nil), outs[i].Dense...)}
+		r.reply <- batchReply{pred: preds[i]}
+	}
+}
+
+// kickNow wakes the loop goroutine so buffered work flushes without
+// waiting out the delay bound (used by Drain).
+func (b *batcher) kickNow() {
+	select {
+	case b.kick <- struct{}{}:
+	default:
 	}
 }
 

@@ -1,13 +1,18 @@
-// Package frontend implements the PRETZEL FrontEnd (§4.2, §4.3): an HTTP
-// server over the Runtime with the two "external" optimizations other
-// serving systems also apply — prediction-result caching (LRU) and
-// adaptive micro-batching (requests buffered per model and flushed
-// delay-bounded and size-capped, with the target batch size adapted by
-// AIMD against a latency SLO) — plus the overload plane (per-model
-// buffer bounds shedding excess load as HTTP 429 + Retry-After) and
-// the white-box management plane: model listing with per-stage
-// execution counters and latency percentiles, zip upload, label moves,
-// deletion and server-wide /statz.
+// Package frontend implements the PRETZEL FrontEnd (§4.2, §4.3): an
+// HTTP server over a serving.Engine with the two "external"
+// optimizations other serving systems also apply — prediction-result
+// caching (LRU) and adaptive micro-batching (requests buffered per
+// model and flushed delay-bounded and size-capped, with the target
+// batch size adapted by AIMD against a latency SLO) — plus the
+// overload plane (per-model buffer bounds shedding excess load as HTTP
+// 429 + Retry-After) and the white-box management plane: model listing
+// with per-stage execution counters and latency percentiles, zip
+// upload, label moves, deletion and server-wide /statz.
+//
+// The front end is transport-plumbing only: every predict, catalog and
+// lifecycle call goes through the serving.Engine seam, so the same
+// server binary fronts a local runtime (serving.Local) or a sharded
+// cluster of remote nodes (cluster.Router) without change.
 package frontend
 
 import (
@@ -19,11 +24,12 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pretzel/internal/oven"
 	"pretzel/internal/runtime"
-	"pretzel/internal/vector"
+	"pretzel/internal/serving"
 )
 
 // Config parameterizes a FrontEnd.
@@ -48,8 +54,9 @@ type Config struct {
 	// runtime.ErrOverloaded (HTTP 429 + Retry-After) instead of
 	// queueing without bound (0 = unbounded).
 	MaxPending int
-	// CompileOptions configure compilation of uploaded models
-	// (nil = oven.DefaultOptions).
+	// CompileOptions configure compilation of uploaded models when the
+	// front end is built over a local runtime (nil = oven.DefaultOptions;
+	// consumed by serving.NewLocal — routing engines compile nothing).
 	CompileOptions *oven.Options
 	// MaxUploadBytes bounds POST /models bodies (0 = 64 MiB).
 	MaxUploadBytes int64
@@ -57,11 +64,15 @@ type Config struct {
 
 // Server is the HTTP front end.
 type Server struct {
-	rt    *runtime.Runtime
+	eng   serving.Engine
 	cfg   Config
 	start time.Time
 
 	cache *predCache
+
+	// draining rejects new predictions with 503 while buffered work is
+	// flushed (graceful shutdown).
+	draining atomic.Bool
 
 	mu       sync.Mutex
 	batchers map[string]*batcher
@@ -83,9 +94,9 @@ type batchReply struct {
 	err  error
 }
 
-// New builds a FrontEnd over a runtime.
-func New(rt *runtime.Runtime, cfg Config) *Server {
-	s := &Server{rt: rt, cfg: cfg, start: time.Now(), batchers: make(map[string]*batcher)}
+// New builds a FrontEnd over a serving engine (local or routing).
+func New(eng serving.Engine, cfg Config) *Server {
+	s := &Server{eng: eng, cfg: cfg, start: time.Now(), batchers: make(map[string]*batcher)}
 	if cfg.CacheEntries > 0 {
 		s.cache = newPredCache(cfg.CacheEntries)
 	}
@@ -97,13 +108,68 @@ func New(rt *runtime.Runtime, cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /models/{name}", s.handleModelDelete)
 	s.mux.HandleFunc("POST /models/{name}/labels", s.handleSetLabel)
 	s.mux.HandleFunc("GET /statz", s.handleStatz)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return s
 }
 
-// statusFor maps the runtime's typed sentinel errors to HTTP codes.
+// Engine returns the serving engine behind the front end.
+func (s *Server) Engine() serving.Engine { return s.eng }
+
+// handleHealthz is the liveness probe: the process is up and the mux
+// is serving. It stays 200 while draining (the process is still alive)
+// — readiness is what flips during shutdown.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is the readiness probe: 200 only when the engine can
+// serve traffic now (runtime open, admission not saturated, at least
+// one healthy cluster node — whatever the engine's Ready checks) and
+// the server is not draining. The cluster health checker and load
+// balancers route on this.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "draining"})
+		return
+	}
+	if err := s.eng.Ready(); err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// Drain puts the front end into draining mode: new predictions are
+// rejected with 503 (runtime.ErrClosed) while every buffered batcher
+// request is flushed and answered. It returns once all batchers are
+// idle or the context expires. Part of graceful shutdown: call Drain,
+// then http.Server.Shutdown, then close the engine.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	for {
+		s.mu.Lock()
+		idle := true
+		for _, b := range s.batchers {
+			if !b.idle() {
+				idle = false
+				// Flush now instead of waiting out the delay bound.
+				b.kickNow()
+			}
+		}
+		s.mu.Unlock()
+		if idle {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// statusFor maps the serving seam's typed sentinel errors to HTTP codes.
 func statusFor(err error) int {
 	switch {
 	case errors.Is(err, runtime.ErrModelNotFound):
@@ -115,9 +181,9 @@ func statusFor(err error) int {
 		return http.StatusGatewayTimeout
 	case errors.Is(err, runtime.ErrOverloaded):
 		return http.StatusTooManyRequests
-	case errors.Is(err, runtime.ErrClosed):
+	case errors.Is(err, runtime.ErrClosed), errors.Is(err, serving.ErrNotReady):
 		return http.StatusServiceUnavailable
-	case errors.Is(err, runtime.ErrInvalidInput):
+	case errors.Is(err, runtime.ErrInvalidInput), errors.Is(err, serving.ErrBadModel):
 		return http.StatusBadRequest
 	default:
 		return http.StatusInternalServerError
@@ -133,18 +199,6 @@ func (s *Server) retryAfterSeconds() int {
 		secs = 1
 	}
 	return secs
-}
-
-// mapCtxErr folds raw context errors (surfaced by the delayed-batching
-// buffer, outside the runtime) into the runtime's typed sentinels.
-func mapCtxErr(err error) error {
-	switch {
-	case errors.Is(err, context.DeadlineExceeded):
-		return fmt.Errorf("%w (%v)", runtime.ErrDeadlineExceeded, err)
-	case errors.Is(err, context.Canceled):
-		return fmt.Errorf("%w (%v)", runtime.ErrCanceled, err)
-	}
-	return err
 }
 
 // ServeHTTP implements http.Handler.
@@ -173,8 +227,8 @@ type Response struct {
 }
 
 // handlePredict decodes a request, serves it and encodes the response.
-// Typed runtime errors map to proper status codes: unknown model = 404,
-// expired deadline = 504, closed runtime = 503, invalid input = 400.
+// Typed engine errors map to proper status codes: unknown model = 404,
+// expired deadline = 504, closed/draining = 503, invalid input = 400.
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	var req Request
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -227,12 +281,15 @@ func (s *Server) PredictCtx(ctx context.Context, model, input string) (pred []fl
 }
 
 func (s *Server) predict(ctx context.Context, model, input string, deadline time.Time, prio runtime.Priority) (pred []float32, cached bool, err error) {
+	if s.draining.Load() {
+		return nil, false, fmt.Errorf("%w: server draining", runtime.ErrClosed)
+	}
 	cacheKey := model
 	if s.cache != nil {
 		// Key the result cache by the CONCRETE version the reference
 		// resolves to right now, so a label move (hot swap) or
 		// unregister is never masked by stale cached predictions.
-		name, version, rerr := s.rt.Resolve(model)
+		name, version, rerr := s.eng.Resolve(model)
 		if rerr != nil {
 			return nil, false, rerr
 		}
@@ -252,7 +309,7 @@ func (s *Server) predict(ctx context.Context, model, input string, deadline time
 		}
 		pred, err = s.predictDelayed(ctx, model, input, prio)
 	} else {
-		pred, err = s.predictDirect(ctx, model, input, deadline, prio)
+		pred, err = s.eng.Predict(ctx, model, input, serving.PredictOptions{Priority: prio, Deadline: deadline})
 	}
 	if err == nil && s.cache != nil {
 		s.cache.put(cacheKey, input, pred)
@@ -260,39 +317,21 @@ func (s *Server) predict(ctx context.Context, model, input string, deadline time
 	return pred, false, err
 }
 
-// predictDirect uses the request-response engine inline.
-func (s *Server) predictDirect(ctx context.Context, model, input string, deadline time.Time, prio runtime.Priority) ([]float32, error) {
-	in := vector.New(0)
-	in.SetText(input)
-	out := vector.New(0)
-	err := s.rt.PredictRequest(runtime.Request{
-		Ctx:      ctx,
-		Model:    model,
-		In:       in,
-		Out:      out,
-		Priority: prio,
-		Deadline: deadline,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return append([]float32(nil), out.Dense...), nil
-}
-
 // predictDelayed hands the request to the model's adaptive batcher,
 // which flushes it with its batch (delay-bounded, size-capped) as ONE
-// batched job: every pipeline stage becomes a single event processing
-// all buffered records, paying scheduling overhead once per stage
-// instead of once per record — the point of delayed batching.
+// batched engine call: on a local engine every pipeline stage becomes
+// a single event processing all buffered records, paying scheduling
+// overhead once per stage instead of once per record — the point of
+// delayed batching.
 func (s *Server) predictDelayed(ctx context.Context, model, input string, prio runtime.Priority) ([]float32, error) {
 	if err := ctx.Err(); err != nil {
-		return nil, mapCtxErr(err)
+		return nil, serving.MapCtxErr(err)
 	}
 	// Only resolvable model references get a batcher: an unknown ref
 	// fails here (404) instead of permanently installing a per-string
 	// batcher that attacker- or typo-driven traffic could grow without
 	// bound.
-	if _, _, err := s.rt.Resolve(model); err != nil {
+	if _, _, err := s.eng.Resolve(model); err != nil {
 		return nil, err
 	}
 	req := &pendingReq{input: input, ctx: ctx, prio: prio, arrival: time.Now(), reply: make(chan batchReply, 1)}
@@ -304,7 +343,7 @@ func (s *Server) predictDelayed(ctx context.Context, model, input string, prio r
 		return r.pred, r.err
 	case <-ctx.Done():
 		// The batch still runs (it is shared); only this waiter leaves.
-		return nil, mapCtxErr(ctx.Err())
+		return nil, serving.MapCtxErr(ctx.Err())
 	}
 }
 

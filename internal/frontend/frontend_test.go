@@ -15,6 +15,7 @@ import (
 	"pretzel/internal/pipeline"
 	"pretzel/internal/runtime"
 	"pretzel/internal/schema"
+	"pretzel/internal/serving"
 	"pretzel/internal/store"
 	"pretzel/internal/text"
 )
@@ -80,7 +81,7 @@ func postPredict(t testing.TB, srv *httptest.Server, model, input string) (Respo
 }
 
 func TestHTTPPredict(t *testing.T) {
-	fe := New(saRuntime(t), Config{})
+	fe := newFE(saRuntime(t), Config{})
 	srv := httptest.NewServer(fe)
 	defer srv.Close()
 	out, code := postPredict(t, srv, "sa", "a nice product")
@@ -125,7 +126,7 @@ func TestHTTPPredict(t *testing.T) {
 }
 
 func TestPredictionCache(t *testing.T) {
-	fe := New(saRuntime(t), Config{CacheEntries: 8})
+	fe := newFE(saRuntime(t), Config{CacheEntries: 8})
 	p1, cached1, err := fe.Predict("sa", "nice one")
 	if err != nil || cached1 {
 		t.Fatalf("first: %v cached=%v", err, cached1)
@@ -148,7 +149,7 @@ func TestPredictionCache(t *testing.T) {
 }
 
 func TestPredictionCacheEviction(t *testing.T) {
-	fe := New(saRuntime(t), Config{CacheEntries: 2})
+	fe := newFE(saRuntime(t), Config{CacheEntries: 2})
 	inputs := []string{"a", "b", "c"}
 	for _, in := range inputs {
 		if _, _, err := fe.Predict("sa", in); err != nil {
@@ -166,7 +167,7 @@ func TestPredictionCacheEviction(t *testing.T) {
 
 func TestDelayedBatching(t *testing.T) {
 	rt := saRuntime(t)
-	fe := New(rt, Config{BatchDelay: 10 * time.Millisecond})
+	fe := newFE(rt, Config{BatchDelay: 10 * time.Millisecond})
 	const n = 16
 	var wg sync.WaitGroup
 	results := make([][]float32, n)
@@ -204,11 +205,17 @@ func TestDelayedBatching(t *testing.T) {
 }
 
 func TestCacheDisabled(t *testing.T) {
-	fe := New(saRuntime(t), Config{})
+	fe := newFE(saRuntime(t), Config{})
 	if st := fe.CacheStats(); st.Hits != 0 || st.Entries != 0 {
 		t.Fatal("no cache stats expected")
 	}
 	if _, cached, err := fe.Predict("sa", "nice"); err != nil || cached {
 		t.Fatal("no cache: must never report cached")
 	}
+}
+
+// newFE builds a front end over a local engine — the test-side shim
+// for the many call sites that hold a raw runtime.
+func newFE(rt *runtime.Runtime, cfg Config) *Server {
+	return New(serving.NewLocal(rt, cfg.CompileOptions), cfg)
 }

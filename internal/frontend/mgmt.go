@@ -9,7 +9,13 @@
 //	POST   /models               register from an uploaded zip
 //	DELETE /models/{name}        unregister (name, name@version, name@label)
 //	POST   /models/{name}/labels move a label (hot swap)
-//	GET    /statz                pool / catalog / scheduler / cache stats
+//	GET    /statz                engine / batcher / cache stats
+//	GET    /healthz              liveness probe
+//	GET    /readyz               readiness probe (cluster health checks)
+//
+// Every operation goes through the serving.Engine seam: over a local
+// engine the registration compiles in-process; over a routing engine
+// it is forwarded to the model's owner nodes.
 package frontend
 
 import (
@@ -21,12 +27,8 @@ import (
 	"strconv"
 	"time"
 
-	"pretzel/internal/oven"
-	"pretzel/internal/pipeline"
 	"pretzel/internal/runtime"
-	"pretzel/internal/sched"
-	"pretzel/internal/store"
-	"pretzel/internal/vector"
+	"pretzel/internal/serving"
 )
 
 const defaultMaxUploadBytes = 64 << 20
@@ -47,10 +49,10 @@ type ModelsResponse struct {
 
 // handleModels lists every registered model with labels and versions.
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, ModelsResponse{Models: s.rt.Models()})
+	writeJSON(w, http.StatusOK, ModelsResponse{Models: s.eng.Models()})
 }
 
-// ModelDetail is the GET /models/{name} body: the runtime's white-box
+// ModelDetail is the GET /models/{name} body: the engine's white-box
 // view (stages, labels, per-model load with latency percentiles) plus
 // the front end's adaptive-batcher state when the model has one.
 type ModelDetail struct {
@@ -64,7 +66,7 @@ type ModelDetail struct {
 // its adaptive-batcher state.
 func (s *Server) handleModelGet(w http.ResponseWriter, r *http.Request) {
 	name, _ := runtime.SplitRef(r.PathValue("name"))
-	info, err := s.rt.ModelInfo(name)
+	info, err := s.eng.ModelInfo(name)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -92,11 +94,7 @@ func (s *Server) handleModelGet(w http.ResponseWriter, r *http.Request) {
 }
 
 // RegisterResponse is the POST /models success body.
-type RegisterResponse struct {
-	Name    string `json:"name"`
-	Version int    `json:"version"`
-	ID      uint64 `json:"id"`
-}
+type RegisterResponse = serving.RegisterResult
 
 // handleModelUpload registers a model from an uploaded zip (the format
 // exported by pretzel-train / pipeline.Export). Query parameters:
@@ -114,55 +112,41 @@ func (s *Server) handleModelUpload(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "reading upload: " + err.Error()})
 		return
 	}
-	p, err := pipeline.ImportBytes(raw)
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "importing model: " + err.Error()})
-		return
+	opts := serving.RegisterOptions{
+		Name:  r.URL.Query().Get("name"),
+		Label: r.URL.Query().Get("label"),
 	}
-	name := r.URL.Query().Get("name")
-	if name == "" {
-		name, _ = runtime.SplitRef(p.Name)
-	}
-	version := 0
 	if v := r.URL.Query().Get("version"); v != "" {
-		version, err = strconv.Atoi(v)
-		if err != nil || version <= 0 {
+		opts.Version, err = strconv.Atoi(v)
+		if err != nil || opts.Version <= 0 {
 			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad version %q", v)})
 			return
 		}
 	}
-	opts := oven.DefaultOptions()
-	if s.cfg.CompileOptions != nil {
-		opts = *s.cfg.CompileOptions
-	}
-	pl, err := oven.Compile(p, s.rt.ObjectStore(), opts)
+	reg, err := s.eng.Register(raw, opts)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "compiling model: " + err.Error()})
-		return
-	}
-	reg, err := s.rt.RegisterVersion(pl, name, version)
-	if err != nil {
-		if errors.Is(err, runtime.ErrInvalidInput) {
+		if errors.Is(err, serving.ErrBadModel) || errors.Is(err, runtime.ErrInvalidInput) ||
+			errors.Is(err, runtime.ErrModelNotFound) || errors.Is(err, runtime.ErrOverloaded) ||
+			errors.Is(err, runtime.ErrClosed) || errors.Is(err, serving.ErrNotReady) {
+			// Typed failures keep their proper status — in particular an
+			// unavailable engine (closed runtime, unreachable owner
+			// nodes) is 503, not a bogus "conflict" the client would
+			// never retry.
 			writeErr(w, err)
 			return
 		}
+		// Anything else (duplicate version, …) is a conflict.
 		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
 		return
 	}
-	if label := r.URL.Query().Get("label"); label != "" {
-		if err := s.rt.SetLabel(name, label, reg.Version); err != nil {
-			writeErr(w, err)
-			return
-		}
-	}
-	writeJSON(w, http.StatusCreated, RegisterResponse{Name: reg.Name, Version: reg.Version, ID: reg.ID})
+	writeJSON(w, http.StatusCreated, reg)
 }
 
 // handleModelDelete unregisters a model reference, draining in-flight
 // work first. A bare name removes every version; name@ref removes one.
 func (s *Server) handleModelDelete(w http.ResponseWriter, r *http.Request) {
 	ref := r.PathValue("name")
-	if err := s.rt.Unregister(ref); err != nil {
+	if err := s.eng.Unregister(ref); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -186,46 +170,34 @@ func (s *Server) handleSetLabel(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request: " + err.Error()})
 		return
 	}
-	if err := s.rt.SetLabel(name, req.Label, req.Version); err != nil {
+	if err := s.eng.SetLabel(name, req.Label, req.Version); err != nil {
 		writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"name": name, "label": req.Label, "version": req.Version})
 }
 
-// Statz is the GET /statz body: the server-wide white-box counters.
-// Sched carries the scheduler queue depths, Admission the global
-// in-flight/shed state, Models the per-model latency percentiles and
-// load counters, Batchers the adaptive micro-batching controllers.
+// Statz is the GET /statz body: the server-wide white-box counters —
+// the engine's snapshot (catalog, pools, scheduler, admission,
+// per-model latency percentiles for a local engine; node health,
+// breakers and forwarding counters for a routing engine) plus the
+// front end's own caches and batchers.
 type Statz struct {
-	UptimeSeconds float64                      `json:"uptime_seconds"`
-	Catalog       runtime.CatalogStats         `json:"catalog"`
-	RRPool        vector.PoolStats             `json:"rr_pool"`
-	BatchPool     vector.PoolStats             `json:"batch_pool"`
-	Sched         sched.Stats                  `json:"sched"`
-	Admission     runtime.AdmissionStats       `json:"admission"`
-	Models        map[string]runtime.ModelLoad `json:"models,omitempty"`
-	Batchers      map[string]BatcherStats      `json:"batchers,omitempty"`
-	Cache         CacheStats                   `json:"cache"`
-	MatCache      store.CacheStats             `json:"mat_cache"`
-	ObjectStore   store.Stats                  `json:"object_store"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	serving.Stats
+	Batchers map[string]BatcherStats `json:"batchers,omitempty"`
+	Cache    CacheStats              `json:"cache"`
 }
 
-// handleStatz reports pool, catalog, scheduler, cache and overload
-// statistics: queue depths, admission state, per-model p50/p95/p99,
-// in-flight and shed counts, and the adaptive batchers' targets.
+// handleStatz reports engine, batcher and cache statistics: queue
+// depths, admission state, per-model p50/p95/p99, in-flight and shed
+// counts, the adaptive batchers' targets — or, behind a routing
+// engine, per-node health and failover counters.
 func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, Statz{
 		UptimeSeconds: time.Since(s.start).Seconds(),
-		Catalog:       s.rt.CatalogStats(),
-		RRPool:        s.rt.PoolStats(),
-		BatchPool:     s.rt.BatchPoolStats(),
-		Sched:         s.rt.SchedStats(),
-		Admission:     s.rt.AdmissionStats(),
-		Models:        s.rt.ModelLoads(),
+		Stats:         s.eng.Stats(),
 		Batchers:      s.BatcherStats(),
 		Cache:         s.CacheStats(),
-		MatCache:      s.rt.MatCacheStats(),
-		ObjectStore:   s.rt.ObjectStoreStats(),
 	})
 }

@@ -21,7 +21,7 @@ func emptyServer(t testing.TB) (*Server, *httptest.Server) {
 	t.Helper()
 	rt := runtime.New(store.New(), runtime.Config{Executors: 2})
 	t.Cleanup(rt.Close)
-	fe := New(rt, Config{})
+	fe := newFE(rt, Config{})
 	srv := httptest.NewServer(fe)
 	t.Cleanup(srv.Close)
 	return fe, srv
@@ -182,7 +182,7 @@ func TestUploadRejectsGarbage(t *testing.T) {
 // ErrDeadlineExceeded / ErrCanceled.
 func TestPredictDeadline504(t *testing.T) {
 	rt := saRuntime(t)
-	fe := New(rt, Config{})
+	fe := newFE(rt, Config{})
 	srv := httptest.NewServer(fe)
 	defer srv.Close()
 
@@ -218,7 +218,7 @@ func TestPredictDeadline504(t *testing.T) {
 
 func TestStatz(t *testing.T) {
 	rt := saRuntime(t)
-	fe := New(rt, Config{CacheEntries: 4})
+	fe := newFE(rt, Config{CacheEntries: 4})
 	srv := httptest.NewServer(fe)
 	defer srv.Close()
 	if _, _, err := fe.Predict("sa", "a nice product"); err != nil {
@@ -263,7 +263,7 @@ func TestStatzMatCache(t *testing.T) {
 	if _, err := rt.Register(pl); err != nil {
 		t.Fatal(err)
 	}
-	fe := New(rt, Config{})
+	fe := newFE(rt, Config{})
 	srv := httptest.NewServer(fe)
 	defer srv.Close()
 	for i := 0; i < 2; i++ {
@@ -334,7 +334,7 @@ func TestHotSwapOverHTTP(t *testing.T) {
 func TestCacheNotStaleAcrossHotSwap(t *testing.T) {
 	rt := runtime.New(store.New(), runtime.Config{Executors: 2})
 	t.Cleanup(rt.Close)
-	fe := New(rt, Config{CacheEntries: 16})
+	fe := newFE(rt, Config{CacheEntries: 16})
 	srv := httptest.NewServer(fe)
 	t.Cleanup(srv.Close)
 
@@ -386,7 +386,7 @@ func TestCacheNotStaleAcrossHotSwap(t *testing.T) {
 // silently executed.
 func TestDelayedModeDeadline(t *testing.T) {
 	rt := saRuntime(t)
-	fe := New(rt, Config{BatchDelay: 5 * time.Millisecond})
+	fe := newFE(rt, Config{BatchDelay: 5 * time.Millisecond})
 	srv := httptest.NewServer(fe)
 	defer srv.Close()
 

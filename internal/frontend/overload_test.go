@@ -24,7 +24,7 @@ import (
 // and the buffered requests still serve once the loop runs.
 func TestBatcherShedsAtMaxPending(t *testing.T) {
 	rt := saRuntime(t)
-	fe := New(rt, Config{BatchDelay: time.Millisecond, MaxPending: 2})
+	fe := newFE(rt, Config{BatchDelay: time.Millisecond, MaxPending: 2})
 	b := fe.batcherFor("sa")
 	// Park the loop: enqueue must not arm a flusher while we fill the
 	// buffer, so the bound is hit deterministically.
@@ -76,7 +76,7 @@ func TestBatcherShedsAtMaxPending(t *testing.T) {
 // target batch size additively until it pins at MaxBatch.
 func TestAIMDGrowsWithinSLO(t *testing.T) {
 	rt := saRuntime(t)
-	fe := New(rt, Config{BatchDelay: time.Millisecond, BatchSLO: time.Hour, MaxBatch: 8})
+	fe := newFE(rt, Config{BatchDelay: time.Millisecond, BatchSLO: time.Hour, MaxBatch: 8})
 	b := fe.batcherFor("sa")
 	if b.stats().Target != 1 {
 		t.Fatalf("SLO batcher must start at target 1, got %d", b.stats().Target)
@@ -99,7 +99,7 @@ func TestAIMDGrowsWithinSLO(t *testing.T) {
 // budget, so the target halves back to (and stays at) 1.
 func TestAIMDShrinksPastSLO(t *testing.T) {
 	rt := saRuntime(t)
-	fe := New(rt, Config{BatchDelay: time.Millisecond, BatchSLO: time.Nanosecond, MaxBatch: 8})
+	fe := newFE(rt, Config{BatchDelay: time.Millisecond, BatchSLO: time.Nanosecond, MaxBatch: 8})
 	for i := 0; i < 6; i++ {
 		if _, _, err := fe.Predict("sa", "a nice product"); err != nil {
 			t.Fatal(err)
@@ -116,7 +116,7 @@ func TestAIMDShrinksPastSLO(t *testing.T) {
 // model has buffered work; an idle model holds zero goroutines.
 func TestIdleModelZeroGoroutines(t *testing.T) {
 	rt := saRuntime(t)
-	fe := New(rt, Config{BatchDelay: 2 * time.Millisecond})
+	fe := newFE(rt, Config{BatchDelay: 2 * time.Millisecond})
 	base := goruntime.NumGoroutine()
 
 	var wg sync.WaitGroup
@@ -158,7 +158,7 @@ func TestIdleModelZeroGoroutines(t *testing.T) {
 // the batcher map cannot grow without bound under junk traffic.
 func TestBatcherMapBounded(t *testing.T) {
 	rt := saRuntime(t)
-	fe := New(rt, Config{BatchDelay: time.Millisecond})
+	fe := newFE(rt, Config{BatchDelay: time.Millisecond})
 	for i := 0; i < 10; i++ {
 		if _, _, err := fe.Predict(fmt.Sprintf("junk-%d", i), "x"); !errors.Is(err, runtime.ErrModelNotFound) {
 			t.Fatalf("junk model: %v", err)
@@ -193,7 +193,7 @@ func TestBatcherMapBounded(t *testing.T) {
 // error and must not grow the AIMD target or the flush/record counters.
 func TestFlushErrorsDoNotFeedAIMD(t *testing.T) {
 	rt := saRuntime(t)
-	fe := New(rt, Config{BatchDelay: time.Millisecond, BatchSLO: time.Hour, MaxBatch: 8})
+	fe := newFE(rt, Config{BatchDelay: time.Millisecond, BatchSLO: time.Hour, MaxBatch: 8})
 	b := fe.batcherFor("sa")
 	// Park the loop, buffer one request, then pull the model out from
 	// under it before running the flush.
@@ -223,7 +223,7 @@ func TestFlushErrorsDoNotFeedAIMD(t *testing.T) {
 // maps ErrOverloaded to 429 with a Retry-After hint on the direct path.
 func TestHTTP429WithRetryAfter(t *testing.T) {
 	rt := overloadedRuntime(t)
-	fe := New(rt, Config{})
+	fe := newFE(rt, Config{})
 	srv := httptest.NewServer(fe)
 	defer srv.Close()
 
@@ -286,7 +286,7 @@ func TestStatzOverloadPlane(t *testing.T) {
 	// deterministic: each window holds exactly one buffered request
 	// for the full 20ms, so every best-effort arrival during the
 	// window is shed and the window's own request serves.
-	fe := New(rt, Config{BatchDelay: 20 * time.Millisecond, MaxPending: 1})
+	fe := newFE(rt, Config{BatchDelay: 20 * time.Millisecond, MaxPending: 1})
 	srv := httptest.NewServer(fe)
 	defer srv.Close()
 

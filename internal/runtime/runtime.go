@@ -703,6 +703,10 @@ func (rt *Runtime) MemBytes() int {
 	return total
 }
 
+// Closed reports whether Close has been called (liveness/readiness
+// probes use it; requests against a closed runtime fail with ErrClosed).
+func (rt *Runtime) Closed() bool { return rt.closed.Load() }
+
 // Close stops the batch engine; subsequent requests fail with ErrClosed.
 func (rt *Runtime) Close() {
 	if !rt.closed.CompareAndSwap(false, true) {

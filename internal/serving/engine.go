@@ -1,0 +1,163 @@
+// Package serving defines the transport-agnostic serving seam between
+// the HTTP front end and whatever actually executes predictions. The
+// FrontEnd used to be welded to *runtime.Runtime; every dispatch,
+// catalog and lifecycle operation now goes through the Engine
+// interface, so the same front end (result cache, adaptive batcher,
+// management plane) serves equally over a local runtime (Local) or a
+// cluster of remote nodes (cluster.Router) — the seam that turns the
+// single-machine PRETZEL stack into a horizontally sharded fleet.
+package serving
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"pretzel/internal/runtime"
+	"pretzel/internal/sched"
+	"pretzel/internal/store"
+	"pretzel/internal/vector"
+)
+
+// Sentinel errors of the serving seam, layered on the runtime's typed
+// errors (ErrModelNotFound, ErrOverloaded, …) which pass through
+// engines unchanged.
+var (
+	// ErrBadModel reports an upload that could not be imported or
+	// compiled into a plan (HTTP 400).
+	ErrBadModel = errors.New("serving: bad model upload")
+	// ErrNotReady reports an engine that cannot currently serve
+	// (readiness probe failure, HTTP 503).
+	ErrNotReady = errors.New("serving: engine not ready")
+)
+
+// MapCtxErr folds raw context errors into the runtime's typed
+// sentinels — shared by every layer that observes a context expire
+// outside the runtime (the front end's batching buffer, the cluster
+// router's proxy path).
+func MapCtxErr(err error) error {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("%w (%v)", runtime.ErrDeadlineExceeded, err)
+	case errors.Is(err, context.Canceled):
+		return fmt.Errorf("%w (%v)", runtime.ErrCanceled, err)
+	}
+	return err
+}
+
+// PredictOptions carry the per-request serving knobs through the seam.
+type PredictOptions struct {
+	// Priority selects the queue class (batch engine / remote node).
+	Priority runtime.Priority
+	// Deadline, when non-zero, is the absolute request deadline.
+	Deadline time.Time
+}
+
+// RegisterOptions parameterize a model registration.
+type RegisterOptions struct {
+	// Name overrides the pipeline's embedded name ("" keeps it).
+	Name string
+	// Version installs as this version (<= 0 picks the next free one).
+	Version int
+	// Label, when non-empty, is pointed at the new version afterwards.
+	Label string
+}
+
+// RegisterResult reports one successful registration.
+type RegisterResult struct {
+	Name    string `json:"name"`
+	Version int    `json:"version"`
+	ID      uint64 `json:"id"`
+	// Nodes lists the cluster nodes holding the new version (empty for
+	// a local engine).
+	Nodes []string `json:"nodes,omitempty"`
+}
+
+// Stats is the engine's white-box snapshot. Local engines fill the
+// runtime-level fields; routing engines fill Cluster instead.
+type Stats struct {
+	// Kind identifies the engine ("local", "router").
+	Kind string `json:"kind"`
+
+	Catalog     runtime.CatalogStats         `json:"catalog"`
+	RRPool      vector.PoolStats             `json:"rr_pool"`
+	BatchPool   vector.PoolStats             `json:"batch_pool"`
+	Sched       sched.Stats                  `json:"sched"`
+	Admission   runtime.AdmissionStats       `json:"admission"`
+	Models      map[string]runtime.ModelLoad `json:"models,omitempty"`
+	MatCache    store.CacheStats             `json:"mat_cache"`
+	ObjectStore store.Stats                  `json:"object_store"`
+	// MemBytes is the engine's estimated parameter + plan footprint.
+	MemBytes int `json:"mem_bytes"`
+
+	// Cluster is the routing tier's view (nil for local engines).
+	Cluster *ClusterStats `json:"cluster,omitempty"`
+}
+
+// ClusterStats is the white-box view of a routing engine: placement
+// configuration, per-node health/breaker state and forwarding counters.
+type ClusterStats struct {
+	// Replication is the placement factor K: each model lives on K of
+	// the N registered nodes.
+	Replication int `json:"replication"`
+	// VNodes is the consistent-hash ring's virtual-node count per node.
+	VNodes int `json:"vnodes"`
+	// Forwards counts proxied requests; Failovers counts retries that
+	// moved a request to another replica after a node-level failure.
+	Forwards  uint64 `json:"forwards"`
+	Failovers uint64 `json:"failovers"`
+
+	Nodes []NodeStats `json:"nodes"`
+}
+
+// NodeStats is one cluster member's health and traffic snapshot.
+type NodeStats struct {
+	ID      string `json:"id"`
+	Addr    string `json:"addr"`
+	Healthy bool   `json:"healthy"`
+	Ready   bool   `json:"ready"`
+	// Breaker is the circuit state: "closed", "open" or "half-open".
+	Breaker string `json:"breaker"`
+	// Forwards/Failures count requests proxied to this node and
+	// node-level failures observed on them.
+	Forwards uint64 `json:"forwards"`
+	Failures uint64 `json:"failures"`
+	LastErr  string `json:"last_err,omitempty"`
+}
+
+// Engine is the serving seam: everything the front end needs from a
+// prediction backend, with no commitment to where execution happens.
+// All errors surface the runtime's typed sentinels (plus ErrBadModel /
+// ErrNotReady above) so callers — in particular the HTTP status
+// mapping — never depend on the engine's locality.
+type Engine interface {
+	// Predict serves one text input and returns the dense prediction.
+	Predict(ctx context.Context, model, input string, opts PredictOptions) ([]float32, error)
+	// PredictBatch serves a whole batch as one unit of work (the
+	// adaptive batcher's flush path).
+	PredictBatch(ctx context.Context, model string, inputs []string, opts PredictOptions) ([][]float32, error)
+
+	// Resolve resolves a model reference ("name", "name@version",
+	// "name@label") to the concrete version a request would hit.
+	Resolve(ref string) (name string, version int, err error)
+	// Models lists the white-box view of every registered model.
+	Models() []runtime.ModelInfo
+	// ModelInfo returns one model's white-box view by bare name.
+	ModelInfo(name string) (runtime.ModelInfo, error)
+
+	// Register installs a model from exported zip bytes.
+	Register(zip []byte, opts RegisterOptions) (RegisterResult, error)
+	// Unregister removes a model reference (draining in-flight work).
+	Unregister(ref string) error
+	// SetLabel atomically points a label at an installed version.
+	SetLabel(name, label string, version int) error
+
+	// Stats snapshots the engine's white-box counters.
+	Stats() Stats
+	// Ready reports nil when the engine can serve traffic; the error
+	// explains why not (readiness probe body).
+	Ready() error
+	// Close releases the engine's resources.
+	Close() error
+}

@@ -1,0 +1,161 @@
+package serving
+
+import (
+	"context"
+	"fmt"
+
+	"pretzel/internal/oven"
+	"pretzel/internal/pipeline"
+	"pretzel/internal/runtime"
+	"pretzel/internal/vector"
+)
+
+// Local is the in-process Engine: the thin adapter from the seam onto
+// one *runtime.Runtime. It owns the text→vector marshalling that used
+// to live in the front end, plus the import→compile→register upload
+// path of the management plane.
+type Local struct {
+	rt      *runtime.Runtime
+	compile oven.Options
+}
+
+// NewLocal wraps a runtime as an Engine. opts configure compilation of
+// uploaded models (nil = oven.DefaultOptions).
+func NewLocal(rt *runtime.Runtime, opts *oven.Options) *Local {
+	co := oven.DefaultOptions()
+	if opts != nil {
+		co = *opts
+	}
+	return &Local{rt: rt, compile: co}
+}
+
+// Runtime exposes the wrapped runtime (white-box escape hatch for
+// tools and tests; transport engines have no equivalent).
+func (l *Local) Runtime() *runtime.Runtime { return l.rt }
+
+// Predict serves one input on the request-response engine.
+func (l *Local) Predict(ctx context.Context, model, input string, opts PredictOptions) ([]float32, error) {
+	in := vector.New(0)
+	in.SetText(input)
+	out := vector.New(0)
+	err := l.rt.PredictRequest(runtime.Request{
+		Ctx:      ctx,
+		Model:    model,
+		In:       in,
+		Out:      out,
+		Priority: opts.Priority,
+		Deadline: opts.Deadline,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return append([]float32(nil), out.Dense...), nil
+}
+
+// PredictBatch serves a whole batch of inputs as ONE batched job:
+// every pipeline stage becomes a single event processing all records.
+func (l *Local) PredictBatch(ctx context.Context, model string, inputs []string, opts PredictOptions) ([][]float32, error) {
+	ins := make([]*vector.Vector, len(inputs))
+	outs := make([]*vector.Vector, len(inputs))
+	for i, s := range inputs {
+		ins[i] = vector.New(0)
+		ins[i].SetText(s)
+		outs[i] = vector.New(0)
+	}
+	err := l.rt.PredictRequestBatch(runtime.BatchRequest{
+		Ctx:      ctx,
+		Model:    model,
+		Ins:      ins,
+		Outs:     outs,
+		Priority: opts.Priority,
+		Deadline: opts.Deadline,
+	})
+	if err != nil {
+		return nil, err
+	}
+	preds := make([][]float32, len(outs))
+	for i, o := range outs {
+		preds[i] = append([]float32(nil), o.Dense...)
+	}
+	return preds, nil
+}
+
+// Resolve resolves a model reference to its concrete version.
+func (l *Local) Resolve(ref string) (string, int, error) { return l.rt.Resolve(ref) }
+
+// Models lists the runtime's white-box model views.
+func (l *Local) Models() []runtime.ModelInfo { return l.rt.Models() }
+
+// ModelInfo returns one model's white-box view.
+func (l *Local) ModelInfo(name string) (runtime.ModelInfo, error) { return l.rt.ModelInfo(name) }
+
+// Register imports, compiles and installs a model from exported zip
+// bytes, optionally pointing a label at the new version.
+func (l *Local) Register(zip []byte, opts RegisterOptions) (RegisterResult, error) {
+	p, err := pipeline.ImportBytes(zip)
+	if err != nil {
+		return RegisterResult{}, fmt.Errorf("%w: importing: %v", ErrBadModel, err)
+	}
+	name := opts.Name
+	if name == "" {
+		name, _ = runtime.SplitRef(p.Name)
+	}
+	pl, err := oven.Compile(p, l.rt.ObjectStore(), l.compile)
+	if err != nil {
+		return RegisterResult{}, fmt.Errorf("%w: compiling: %v", ErrBadModel, err)
+	}
+	reg, err := l.rt.RegisterVersion(pl, name, opts.Version)
+	if err != nil {
+		return RegisterResult{}, err
+	}
+	if opts.Label != "" {
+		if err := l.rt.SetLabel(name, opts.Label, reg.Version); err != nil {
+			return RegisterResult{}, err
+		}
+	}
+	return RegisterResult{Name: reg.Name, Version: reg.Version, ID: reg.ID}, nil
+}
+
+// Unregister removes a model reference, draining in-flight work first.
+func (l *Local) Unregister(ref string) error { return l.rt.Unregister(ref) }
+
+// SetLabel atomically points a label at an installed version.
+func (l *Local) SetLabel(name, label string, version int) error {
+	return l.rt.SetLabel(name, label, version)
+}
+
+// Stats snapshots the runtime's white-box counters.
+func (l *Local) Stats() Stats {
+	return Stats{
+		Kind:        "local",
+		Catalog:     l.rt.CatalogStats(),
+		RRPool:      l.rt.PoolStats(),
+		BatchPool:   l.rt.BatchPoolStats(),
+		Sched:       l.rt.SchedStats(),
+		Admission:   l.rt.AdmissionStats(),
+		Models:      l.rt.ModelLoads(),
+		MatCache:    l.rt.MatCacheStats(),
+		ObjectStore: l.rt.ObjectStoreStats(),
+		MemBytes:    l.rt.MemBytes(),
+	}
+}
+
+// Ready reports whether the runtime can serve: it must be open and,
+// when admission control is configured, not fully saturated (a node at
+// its global in-flight ceiling sheds everything anyway, so the health
+// checker can stop routing to it).
+func (l *Local) Ready() error {
+	if l.rt.Closed() {
+		return fmt.Errorf("%w: %v", ErrNotReady, runtime.ErrClosed)
+	}
+	if ad := l.rt.AdmissionStats(); ad.MaxInFlight > 0 && ad.InFlight >= int64(ad.MaxInFlight) {
+		return fmt.Errorf("%w: admission saturated (%d/%d in flight)", ErrNotReady, ad.InFlight, ad.MaxInFlight)
+	}
+	return nil
+}
+
+// Close stops the wrapped runtime.
+func (l *Local) Close() error {
+	l.rt.Close()
+	return nil
+}

@@ -54,12 +54,14 @@
 package pretzel
 
 import (
+	"pretzel/internal/cluster"
 	"pretzel/internal/flour"
 	"pretzel/internal/frontend"
 	"pretzel/internal/oven"
 	"pretzel/internal/pipeline"
 	"pretzel/internal/plan"
 	"pretzel/internal/runtime"
+	"pretzel/internal/serving"
 	"pretzel/internal/store"
 	"pretzel/internal/vector"
 )
@@ -105,6 +107,24 @@ type (
 	FrontEnd = frontend.Server
 	// FrontEndConfig parameterizes the front end.
 	FrontEndConfig = frontend.Config
+	// Engine is the transport-agnostic serving seam the front end
+	// dispatches through (local runtime or cluster router).
+	Engine = serving.Engine
+	// LocalEngine is the in-process Engine over one Runtime.
+	LocalEngine = serving.Local
+	// EngineStats is an engine's white-box snapshot.
+	EngineStats = serving.Stats
+	// PredictOptions carry per-request serving knobs through the seam.
+	PredictOptions = serving.PredictOptions
+	// RegisterOptions parameterize a model registration via an Engine.
+	RegisterOptions = serving.RegisterOptions
+	// ClusterMember identifies one serving node of a cluster.
+	ClusterMember = cluster.Member
+	// ClusterConfig parameterizes the cluster routing engine.
+	ClusterConfig = cluster.Config
+	// RouterEngine is the cluster Engine: consistent-hash placement
+	// over K of N nodes with failover routing and circuit breaking.
+	RouterEngine = cluster.Router
 )
 
 // Typed sentinel errors of the serving API (match with errors.Is).
@@ -150,8 +170,30 @@ func Compile(p *Pipeline, s *ObjectStore, opts CompileOptions) (*Plan, error) {
 // NewRuntime starts a serving runtime.
 func NewRuntime(s *ObjectStore, cfg RuntimeConfig) *Runtime { return runtime.New(s, cfg) }
 
-// NewFrontEnd builds an HTTP front end over a runtime.
-func NewFrontEnd(rt *Runtime, cfg FrontEndConfig) *FrontEnd { return frontend.New(rt, cfg) }
+// NewLocalEngine wraps a runtime as a serving Engine — the in-process
+// side of the transport-agnostic serving seam. opts configure
+// compilation of uploaded models (nil = DefaultCompileOptions).
+func NewLocalEngine(rt *Runtime, opts *CompileOptions) *LocalEngine {
+	return serving.NewLocal(rt, opts)
+}
+
+// NewFrontEnd builds an HTTP front end over a runtime (wrapped in a
+// local engine). To front a cluster instead, pass a routing engine to
+// NewFrontEndOver.
+func NewFrontEnd(rt *Runtime, cfg FrontEndConfig) *FrontEnd {
+	return frontend.New(serving.NewLocal(rt, cfg.CompileOptions), cfg)
+}
+
+// NewFrontEndOver builds an HTTP front end over any serving engine
+// (local or cluster router).
+func NewFrontEndOver(eng Engine, cfg FrontEndConfig) *FrontEnd { return frontend.New(eng, cfg) }
+
+// NewRouterEngine builds the cluster routing engine over a static
+// member set: models are placed on K of N nodes by consistent
+// hashing, predictions proxy to owners with retry-on-failover.
+func NewRouterEngine(members []ClusterMember, cfg ClusterConfig) (*RouterEngine, error) {
+	return cluster.NewRouter(members, cfg)
+}
 
 // ImportPipeline deserializes a pipeline from exported model-file bytes.
 func ImportPipeline(b []byte) (*Pipeline, error) { return pipeline.ImportBytes(b) }

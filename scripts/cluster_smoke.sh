@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# Cluster smoke test: two real pretzel-server node processes + one
+# router process. Registers a model through the router with replication
+# K=2, asserts a routed /predict round-trips, kills one node with
+# SIGTERM (exercising graceful shutdown), and asserts the replicated
+# model keeps serving through failover. Run from the repo root:
+#
+#   ./scripts/cluster_smoke.sh
+set -euo pipefail
+
+WORK=$(mktemp -d)
+BIN="$WORK/pretzel-server"
+PIDS=()
+
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+log() { echo "[cluster-smoke] $*"; }
+
+wait_ready() { # url, label
+  for _ in $(seq 1 100); do
+    if curl -fsS "$1/readyz" >/dev/null 2>&1; then
+      log "$2 ready"
+      return 0
+    fi
+    sleep 0.1
+  done
+  log "$2 never became ready"
+  return 1
+}
+
+log "building pretzel-server"
+go build -o "$BIN" ./cmd/pretzel-server
+
+log "training a quick model repository"
+go run ./cmd/pretzel-train -quick -sa 1 -ac 1 -out "$WORK/models" >/dev/null
+# The SA models take text input (the AC ones take numeric CSV).
+ZIP=$(ls "$WORK"/models/sa-*.zip | head -1)
+MODEL=$(basename "$ZIP" .zip)
+log "model: $MODEL"
+
+# Two empty nodes + a router over them (K=2: the model replicates to
+# both, so either node can die without losing it).
+"$BIN" -models "$WORK/none" -addr 127.0.0.1:7101 -executors 2 &
+PIDS+=($!); NODE1=$!
+"$BIN" -models "$WORK/none" -addr 127.0.0.1:7102 -executors 2 &
+PIDS+=($!)
+# -cache 0: every predict must actually route (a cached result would
+# mask a broken failover path).
+"$BIN" -router -nodes 127.0.0.1:7101,127.0.0.1:7102 -replication 2 \
+  -probe-interval 100ms -cache 0 -addr 127.0.0.1:7100 &
+PIDS+=($!)
+
+wait_ready http://127.0.0.1:7101 "node1"
+wait_ready http://127.0.0.1:7102 "node2"
+wait_ready http://127.0.0.1:7100 "router"
+
+log "registering $MODEL through the router"
+REG=$(curl -fsS -X POST --data-binary @"$ZIP" "http://127.0.0.1:7100/models?name=$MODEL")
+echo "$REG" | grep -q '"nodes"' || { log "register response missing placement: $REG"; exit 1; }
+log "placement: $REG"
+
+predict() {
+  curl -fsS -X POST -H 'Content-Type: application/json' \
+    -d "{\"model\":\"$MODEL\",\"input\":\"a nice product\"}" \
+    "http://127.0.0.1:7100/predict"
+}
+
+OUT=$(predict)
+echo "$OUT" | grep -q '"prediction"' || { log "routed predict failed: $OUT"; exit 1; }
+log "routed predict ok: $OUT"
+
+log "killing node1 (SIGTERM, graceful shutdown)"
+kill -TERM "$NODE1"
+
+# The replicated model must keep serving via failover. First requests
+# may race the shutdown; retry briefly, then require stability.
+for i in $(seq 1 50); do
+  if OUT=$(predict 2>/dev/null) && echo "$OUT" | grep -q '"prediction"'; then
+    break
+  fi
+  sleep 0.1
+  [ "$i" = 50 ] && { log "predict never recovered after node kill"; exit 1; }
+done
+for _ in $(seq 1 10); do
+  OUT=$(predict)
+  echo "$OUT" | grep -q '"prediction"' || { log "post-failover predict failed: $OUT"; exit 1; }
+done
+log "failover predict ok after node kill: $OUT"
+
+STATZ=$(curl -fsS http://127.0.0.1:7100/statz)
+echo "$STATZ" | grep -q '"cluster"' || { log "router statz missing cluster view: $STATZ"; exit 1; }
+log "router statz cluster view present"
+log "PASS"
