@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"pretzel"
+	"pretzel/internal/chaos"
 	"pretzel/internal/cluster"
 	"pretzel/internal/frontend"
 	"pretzel/internal/ops"
@@ -70,6 +71,11 @@ func main() {
 		nodes       = flag.String("nodes", "", "router mode: comma-separated node addresses (host:port or http://host:port)")
 		replication = flag.Int("replication", 2, "router mode: placement factor K (each model on K of N nodes)")
 		probeEvery  = flag.Duration("probe-interval", 500*time.Millisecond, "router mode: node health-check interval")
+		hedgeDelay  = flag.Duration("hedge-delay", 0, "router mode: fire a backup request to the next replica after this delay (0 = off)")
+		retryBudget = flag.Int("retry-budget", 0, "router mode: total forward attempts per prediction (0 = 3)")
+
+		chaosOn   = flag.Bool("chaos", false, "enable the /chaos fault-injection endpoints (deterministic chaos testing)")
+		chaosSeed = flag.Int64("chaos-seed", 1, "seed for the chaos injector's fault decisions")
 	)
 	flag.Parse()
 
@@ -98,6 +104,8 @@ func main() {
 		r, err := cluster.NewRouter(members, cluster.Config{
 			Replication:   *replication,
 			ProbeInterval: *probeEvery,
+			HedgeDelay:    *hedgeDelay,
+			RetryBudget:   *retryBudget,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -112,6 +120,10 @@ func main() {
 		feCfg.CompileOptions = &local.opts
 		eng = local.eng
 		descrip = fmt.Sprintf("node serving %d models", n)
+	}
+	if *chaosOn {
+		eng = chaos.New(eng, *chaosSeed)
+		descrip += fmt.Sprintf(", chaos armed (seed %d)", *chaosSeed)
 	}
 
 	fe := frontend.New(eng, feCfg)

@@ -233,6 +233,7 @@ func Experiments() []Experiment {
 		{"batchsweep", "batch-aware kernels: records/s vs batch size, batched vs per-record", runBatchSweep},
 		{"overload", "admission-controlled overload: open-loop goodput, shed rate, p99 across capacity", runOverload},
 		{"cluster", "sharded cluster tier: aggregate goodput + p99 vs node count at fixed per-node capacity", runClusterExp},
+		{"chaos", "fault containment: panic quarantine + hedged routing under injected faults", runChaosExp},
 	}
 }
 

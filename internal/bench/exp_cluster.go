@@ -100,23 +100,41 @@ func (c *benchCluster) close() {
 // owns at least one (at least minModels, placement is deterministic in
 // the node IDs and model names).
 func startCluster(n, k, minModels int, service time.Duration) (*benchCluster, error) {
+	c, _, err := startClusterWith(n, k, minModels, service, cluster.Config{}, nil)
+	return c, err
+}
+
+// startClusterWith is startCluster with two extension points: extra
+// router configuration (hedging, retry budget) merged over the
+// defaults, and a wrap hook that slots middleware — e.g. a chaos
+// injector — between each node's paced engine and its frontend. The
+// wrapped engines are returned in node order so callers can reach the
+// middleware after startup.
+func startClusterWith(n, k, minModels int, service time.Duration, extra cluster.Config, wrap func(node int, eng serving.Engine) serving.Engine) (*benchCluster, []serving.Engine, error) {
 	c := &benchCluster{}
+	engines := make([]serving.Engine, n)
 	members := make([]cluster.Member, n)
 	for i := 0; i < n; i++ {
 		rt := runtime.New(store.New(), runtime.Config{Executors: 1})
-		fe := frontend.New(newPacedEngine(serving.NewLocal(rt, nil), service), frontend.Config{})
-		srv := httptest.NewServer(fe)
+		var eng serving.Engine = newPacedEngine(serving.NewLocal(rt, nil), service)
+		if wrap != nil {
+			eng = wrap(i, eng)
+		}
+		engines[i] = eng
+		srv := httptest.NewServer(frontend.New(eng, frontend.Config{}))
 		c.nodes = append(c.nodes, rt)
 		c.srvs = append(c.srvs, srv)
 		members[i] = cluster.Member{ID: fmt.Sprintf("node%d", i), Addr: srv.URL}
 	}
-	router, err := cluster.NewRouter(members, cluster.Config{
-		Replication:   k,
-		ProbeInterval: 100 * time.Millisecond,
-	})
+	cfg := extra
+	cfg.Replication = k
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = 100 * time.Millisecond
+	}
+	router, err := cluster.NewRouter(members, cfg)
 	if err != nil {
 		c.close()
-		return nil, err
+		return nil, nil, err
 	}
 	c.router = router
 
@@ -132,26 +150,26 @@ func startCluster(n, k, minModels int, service time.Duration) (*benchCluster, er
 	for i := 0; len(c.models) < minModels || !covered(); i++ {
 		if i >= 64 {
 			c.close()
-			return nil, fmt.Errorf("cluster bench: placement never covered all %d nodes", n)
+			return nil, nil, fmt.Errorf("cluster bench: placement never covered all %d nodes", n)
 		}
 		name := fmt.Sprintf("clu-%02d", i)
 		p, err := clusterPipe(name)
 		if err != nil {
 			c.close()
-			return nil, err
+			return nil, nil, err
 		}
 		zip, err := p.ExportBytes()
 		if err != nil {
 			c.close()
-			return nil, err
+			return nil, nil, err
 		}
 		if _, err := router.Register(zip, serving.RegisterOptions{Name: name}); err != nil {
 			c.close()
-			return nil, err
+			return nil, nil, err
 		}
 		c.models = append(c.models, name)
 	}
-	return c, nil
+	return c, engines, nil
 }
 
 // clusterResult is one closed-loop run against a cluster.

@@ -1,0 +1,195 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pretzel/internal/frontend"
+	"pretzel/internal/runtime"
+	"pretzel/internal/serving"
+	"pretzel/internal/store"
+)
+
+// slowEngine delays Predict by a settable duration — a degraded node
+// whose slowness the router's hedging must mask.
+type slowEngine struct {
+	serving.Engine
+	delayNS atomic.Int64
+}
+
+func (s *slowEngine) Predict(ctx context.Context, model, input string, opts serving.PredictOptions) ([]float32, error) {
+	if d := s.delayNS.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+	return s.Engine.Predict(ctx, model, input, opts)
+}
+
+// newHedgeCluster starts n nodes whose engines can be slowed, and a
+// router with the given extra config over them.
+func newHedgeCluster(t testing.TB, n int, cfg Config) ([]*slowEngine, *Router) {
+	t.Helper()
+	engines := make([]*slowEngine, n)
+	members := make([]Member, n)
+	for i := range engines {
+		rt := runtime.New(store.New(), runtime.Config{Executors: 2})
+		t.Cleanup(rt.Close)
+		engines[i] = &slowEngine{Engine: serving.NewLocal(rt, nil)}
+		srv := httptest.NewServer(frontend.New(engines[i], frontend.Config{}))
+		t.Cleanup(srv.Close)
+		members[i] = Member{ID: fmt.Sprintf("node%d", i), Addr: srv.URL}
+	}
+	if cfg.Replication == 0 {
+		cfg.Replication = n
+	}
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = 50 * time.Millisecond
+	}
+	r, err := NewRouter(members, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return engines, r
+}
+
+// TestHedgedPredictMasksSlowOwner slows a model's primary owner far
+// past the hedge delay: the backup request to the replica must win,
+// keeping the routed predict fast and successful.
+func TestHedgedPredictMasksSlowOwner(t *testing.T) {
+	engines, r := newHedgeCluster(t, 2, Config{HedgeDelay: 25 * time.Millisecond})
+	if _, err := r.Register(exportPipe(t, "m"), serving.RegisterOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	owners := r.Owners("m")
+	if len(owners) != 2 {
+		t.Fatalf("owners = %v, want both nodes", owners)
+	}
+	// Slow the primary (first in route order) by far more than the
+	// hedge delay.
+	var primary int
+	if _, err := fmt.Sscanf(owners[0], "node%d", &primary); err != nil {
+		t.Fatalf("unexpected owner ID %q", owners[0])
+	}
+	engines[primary].delayNS.Store(int64(800 * time.Millisecond))
+
+	t0 := time.Now()
+	pred, err := r.Predict(context.Background(), "m", "a nice product", serving.PredictOptions{})
+	elapsed := time.Since(t0)
+	if err != nil {
+		t.Fatalf("hedged predict failed: %v", err)
+	}
+	if len(pred) == 0 {
+		t.Fatal("hedged predict returned no prediction")
+	}
+	if elapsed >= 500*time.Millisecond {
+		t.Fatalf("hedged predict took %v — the backup never masked the slow primary", elapsed)
+	}
+	cs := r.Stats().Cluster
+	if cs.Hedges == 0 || cs.HedgeWins == 0 {
+		t.Fatalf("cluster stats hedges=%d hedgeWins=%d, want both > 0", cs.Hedges, cs.HedgeWins)
+	}
+	// The slow node answered late with a success (its request was
+	// canceled, which is breaker-neutral): no breaker may have opened.
+	for _, ns := range cs.Nodes {
+		if ns.Breaker != breakerClosed {
+			t.Fatalf("node %s breaker %q after hedging, want closed", ns.ID, ns.Breaker)
+		}
+	}
+}
+
+// shedEngine fails every Predict with ErrOverloaded — a node that
+// sheds whatever it is asked (HTTP 429, retryable, not its fault).
+type shedEngine struct{ serving.Engine }
+
+func (s *shedEngine) Predict(context.Context, string, string, serving.PredictOptions) ([]float32, error) {
+	return nil, runtime.ErrOverloaded
+}
+
+// TestRetryBackoffCappedByDeadline exhausts the retry budget against a
+// permanently shedding node under a tight request deadline: the
+// backoff must fail fast with ErrDeadlineExceeded rather than sleep
+// past the budget — and shed 429s never trip the breaker.
+func TestRetryBackoffCappedByDeadline(t *testing.T) {
+	rt := runtime.New(store.New(), runtime.Config{Executors: 1})
+	t.Cleanup(rt.Close)
+	srv := httptest.NewServer(frontend.New(&shedEngine{Engine: serving.NewLocal(rt, nil)}, frontend.Config{}))
+	t.Cleanup(srv.Close)
+	r, err := NewRouter([]Member{{ID: "node0", Addr: srv.URL}}, Config{
+		Replication:   1,
+		ProbeInterval: 50 * time.Millisecond,
+		RetryBudget:   4,
+		RetryBackoff:  50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+
+	t0 := time.Now()
+	_, err = r.Predict(context.Background(), "m", "x", serving.PredictOptions{
+		Deadline: t0.Add(80 * time.Millisecond),
+	})
+	elapsed := time.Since(t0)
+	if !errors.Is(err, runtime.ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded from deadline-capped backoff", err)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("deadline-capped retry took %v — it slept past the request budget", elapsed)
+	}
+	// Budget exhaustion by shedding is not the node's fault.
+	for _, ns := range r.Stats().Cluster.Nodes {
+		if ns.Breaker != breakerClosed {
+			t.Fatalf("node %s breaker %q after 429 sheds, want closed", ns.ID, ns.Breaker)
+		}
+	}
+}
+
+// TestDeadlineHeaderShedsAtNode drives the deadline-propagation
+// header directly against a node front end: a proxied predict whose
+// remaining budget is already spent must shed with 504 before any
+// kernel runs.
+func TestDeadlineHeaderShedsAtNode(t *testing.T) {
+	n := newNode(t)
+	resp, err := http.Post(n.srv.URL+"/models?name=m", "application/zip", bytes.NewReader(exportPipe(t, "m")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		t.Fatalf("register status %d", resp.StatusCode)
+	}
+
+	req, err := http.NewRequest(http.MethodPost, n.srv.URL+"/predict",
+		bytes.NewReader([]byte(`{"model":"m","input":"a nice product"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(frontend.DeadlineHeader, "1000") // 1µs of budget left
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("spent-budget predict status %d, want 504", resp.StatusCode)
+	}
+
+	// Sanity: without the header the same request serves.
+	resp, err = http.Post(n.srv.URL+"/predict", "application/json",
+		bytes.NewReader([]byte(`{"model":"m","input":"a nice product"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict without header status %d, want 200", resp.StatusCode)
+	}
+}

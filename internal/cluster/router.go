@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"sort"
@@ -52,6 +53,24 @@ type Config struct {
 	// invalidate immediately, moves through another router converge
 	// within the TTL).
 	ResolveTTL time.Duration
+	// RetryBudget bounds the total forward attempts one prediction may
+	// spend across replicas (0 = 3; 1 disables retries). Breaker-open
+	// owners are skipped without burning budget, so the budget is spent
+	// on nodes that actually answered — badly.
+	RetryBudget int
+	// RetryBackoff is the base of the jittered exponential backoff
+	// slept between attempts (0 = 5ms), capped at RetryBackoffMax
+	// (0 = 250ms) and always by the request deadline: a retry that
+	// cannot fit its backoff inside the deadline fails with
+	// ErrDeadlineExceeded instead of sleeping past it.
+	RetryBackoff    time.Duration
+	RetryBackoffMax time.Duration
+	// HedgeDelay, when > 0, arms hedged predictions: if the primary
+	// replica has not answered after this delay, a backup request
+	// fires to the next allowed replica and the first response wins
+	// (the loser is canceled, its outcome never feeds the breakers).
+	// Tail-latency insurance: set it near the fault-free p99.
+	HedgeDelay time.Duration
 	// Client is the HTTP client used for proxying and probes (nil = a
 	// client with pooled connections and no global timeout — request
 	// bounds come from the per-call timeouts above).
@@ -79,6 +98,9 @@ type Router struct {
 
 	forwards  atomic.Uint64
 	failovers atomic.Uint64
+	retries   atomic.Uint64
+	hedges    atomic.Uint64
+	hedgeWins atomic.Uint64
 
 	closed atomic.Bool
 }
@@ -111,6 +133,15 @@ func NewRouter(members []Member, cfg Config) (*Router, error) {
 	}
 	if cfg.ResolveTTL <= 0 {
 		cfg.ResolveTTL = time.Second
+	}
+	if cfg.RetryBudget <= 0 {
+		cfg.RetryBudget = 3
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 5 * time.Millisecond
+	}
+	if cfg.RetryBackoffMax <= 0 {
+		cfg.RetryBackoffMax = 250 * time.Millisecond
 	}
 	if cfg.Client == nil {
 		tr := http.DefaultTransport.(*http.Transport).Clone()
@@ -229,8 +260,71 @@ func routeOrder(owners []*memberState) []*memberState {
 	return ordered
 }
 
-// Predict proxies one prediction to the model's owners, failing over
-// across replicas on node-level failures.
+// noteOutcome feeds one attempt's outcome to the member's circuit
+// breaker. Cancellation is breaker-neutral: a hedge loser canceled
+// because its sibling won (or a caller who walked away) says nothing
+// about the node's health, so it must neither trip nor reset the
+// breaker.
+func (r *Router) noteOutcome(m *memberState, err error) {
+	if err == nil {
+		m.br.success()
+		return
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, runtime.ErrCanceled) {
+		return
+	}
+	var ne nodeErr
+	if !errors.As(err, &ne) {
+		// Caller-level failure (bad input, spent deadline): final for
+		// the request, and not the node's fault.
+		m.br.success()
+		return
+	}
+	if ne.fault {
+		m.br.failure(time.Now())
+		m.failures.Add(1)
+		m.lastErr.Store(ne.err.Error())
+	} else {
+		m.br.success()
+	}
+}
+
+// backoff sleeps the jittered exponential backoff before retry
+// `attempt` (1-based), capped at RetryBackoffMax and by the request
+// deadline: when the sleep cannot fit, it fails fast with
+// ErrDeadlineExceeded instead of burning the remaining budget asleep.
+func (r *Router) backoff(ctx context.Context, attempt int, deadline time.Time) error {
+	d := r.cfg.RetryBackoff << (attempt - 1)
+	if d > r.cfg.RetryBackoffMax || d <= 0 {
+		d = r.cfg.RetryBackoffMax
+	}
+	// Full jitter in [d/2, d): retrying replicas of one overloaded
+	// model must not re-converge in lockstep.
+	d = d/2 + time.Duration(rand.Int64N(int64(d/2)+1))
+	if dl, ok := ctx.Deadline(); ok && (deadline.IsZero() || dl.Before(deadline)) {
+		deadline = dl
+	}
+	if !deadline.IsZero() && time.Until(deadline) < d {
+		return fmt.Errorf("%w: retry backoff (%v) exceeds remaining request budget", runtime.ErrDeadlineExceeded, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return serving.MapCtxErr(ctx.Err())
+	}
+}
+
+// Predict proxies one prediction to the model's owners under a
+// per-request retry budget: attempts rotate across replicas with
+// jittered exponential backoff between them (failover is attempt #2 on
+// the next replica), node-level failures feed the breakers, and
+// caller-level failures return immediately. With HedgeDelay armed,
+// each attempt may fire a backup request to the next allowed replica
+// when the primary is slow — first response wins, the loser is
+// canceled.
 func (r *Router) Predict(ctx context.Context, model, input string, opts serving.PredictOptions) ([]float32, error) {
 	if r.closed.Load() {
 		return nil, runtime.ErrClosed
@@ -240,38 +334,129 @@ func (r *Router) Predict(ctx context.Context, model, input string, opts serving.
 		return nil, fmt.Errorf("%w: no cluster members", serving.ErrNotReady)
 	}
 	owners = routeOrder(owners)
-	var lastErr error
-	for i, m := range owners {
+	// next rotates through the route order so consecutive attempts (and
+	// the hedge backup) land on different replicas whenever possible.
+	next := 0
+	pick := func() *memberState {
+		for i := 0; i < len(owners); i++ {
+			m := owners[(next+i)%len(owners)]
+			if m.br.allow(time.Now()) {
+				next = (next + i + 1) % len(owners)
+				return m
+			}
+		}
+		return nil
+	}
+	var (
+		lastErr  error
+		prev     *memberState
+		attempts int
+	)
+	for attempts = 0; attempts < r.cfg.RetryBudget; attempts++ {
 		if err := ctx.Err(); err != nil {
 			return nil, serving.MapCtxErr(err)
 		}
-		if !m.br.allow(time.Now()) {
-			continue
+		m := pick()
+		if m == nil {
+			break
 		}
-		pred, err := r.forwardPredict(ctx, m, model, input, opts)
+		if attempts > 0 {
+			r.retries.Add(1)
+			if m != prev {
+				r.failovers.Add(1)
+			}
+			if err := r.backoff(ctx, attempts, opts.Deadline); err != nil {
+				if lastErr != nil {
+					return nil, fmt.Errorf("%w (last replica error: %v)", err, lastErr)
+				}
+				return nil, err
+			}
+		}
+		var backup *memberState
+		if r.cfg.HedgeDelay > 0 && len(owners) > 1 {
+			if b := pick(); b != nil && b != m {
+				backup = b
+			}
+		}
+		prev = m
+		pred, err := r.attemptHedged(ctx, m, backup, model, input, opts)
 		if err == nil {
-			m.br.success()
 			return pred, nil
 		}
 		var ne nodeErr
 		if !errors.As(err, &ne) {
-			// Caller-level failure: final, and not the node's fault.
-			m.br.success()
 			return nil, err
 		}
-		if ne.fault {
-			m.br.failure(time.Now())
-			m.failures.Add(1)
-			m.lastErr.Store(ne.err.Error())
-		} else {
-			m.br.success()
-		}
 		lastErr = ne.err
-		if i < len(owners)-1 {
-			r.failovers.Add(1)
+	}
+	return nil, finalErr(model, attempts, lastErr)
+}
+
+// attemptHedged runs one attempt: the primary forward, plus — when a
+// backup replica is available and the primary has not answered within
+// HedgeDelay — a hedged backup forward. The first success wins and
+// cancels the other; each in-flight forward does its own breaker
+// bookkeeping (cancellation is breaker-neutral, see noteOutcome). A
+// final (caller-level) error from either side wins over waiting.
+func (r *Router) attemptHedged(ctx context.Context, primary, backup *memberState, model, input string, opts serving.PredictOptions) ([]float32, error) {
+	if backup == nil || r.cfg.HedgeDelay <= 0 {
+		pred, err := r.forwardPredict(ctx, primary, model, input, opts)
+		r.noteOutcome(primary, err)
+		return pred, err
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type result struct {
+		pred   []float32
+		err    error
+		hedged bool
+	}
+	// Buffered to the maximum number of forwards: the loser's goroutine
+	// must be able to deliver (and do its breaker bookkeeping) after
+	// this function returned.
+	ch := make(chan result, 2)
+	launch := func(m *memberState, hedged bool) {
+		pred, err := r.forwardPredict(hctx, m, model, input, opts)
+		r.noteOutcome(m, err)
+		ch <- result{pred: pred, err: err, hedged: hedged}
+	}
+	go launch(primary, false)
+	timer := time.NewTimer(r.cfg.HedgeDelay)
+	defer timer.Stop()
+	inflight, hedgeFired := 1, false
+	var lastErr error
+	for {
+		select {
+		case <-timer.C:
+			if !hedgeFired {
+				hedgeFired = true
+				inflight++
+				r.hedges.Add(1)
+				go launch(backup, true)
+			}
+		case res := <-ch:
+			if res.err == nil {
+				if res.hedged {
+					r.hedgeWins.Add(1)
+				}
+				return res.pred, nil
+			}
+			var ne nodeErr
+			if !errors.As(res.err, &ne) {
+				// Caller-level: final — no point waiting on the sibling.
+				return nil, res.err
+			}
+			lastErr = res.err
+			inflight--
+			if inflight == 0 {
+				// Both sides failed — or the primary failed before the
+				// hedge delay, in which case the failure goes straight
+				// to the outer retry loop instead of waiting out the
+				// timer.
+				return nil, lastErr
+			}
 		}
 	}
-	return nil, finalErr(model, len(owners), lastErr)
 }
 
 // PredictBatch proxies a flushed batch. The wire protocol is
@@ -322,6 +507,17 @@ func (r *Router) forwardPredict(ctx context.Context, m *memberState, model, inpu
 		return nil, nodeErr{err: err, fault: true}
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// Propagate the remaining request budget as a relative duration —
+	// clock-skew tolerant where an absolute timestamp is not. Each
+	// retry or hedge recomputes it, so the budget a node sees shrinks
+	// as the request ages.
+	deadline := opts.Deadline
+	if dl, ok := ctx.Deadline(); ok && (deadline.IsZero() || dl.Before(deadline)) {
+		deadline = dl
+	}
+	if !deadline.IsZero() {
+		req.Header.Set(frontend.DeadlineHeader, strconv.FormatInt(int64(time.Until(deadline)), 10))
+	}
 	resp, err := r.cfg.Client.Do(req)
 	if err != nil {
 		if ctxErr := ctx.Err(); ctxErr != nil {
@@ -724,6 +920,9 @@ func (r *Router) Stats() serving.Stats {
 		VNodes:      r.ring.VNodes(),
 		Forwards:    r.forwards.Load(),
 		Failovers:   r.failovers.Load(),
+		Retries:     r.retries.Load(),
+		Hedges:      r.hedges.Load(),
+		HedgeWins:   r.hedgeWins.Load(),
 	}
 	members := r.reg.all()
 	sort.Slice(members, func(i, j int) bool { return members[i].ID < members[j].ID })

@@ -110,6 +110,10 @@ func New(eng serving.Engine, cfg Config) *Server {
 	s.mux.HandleFunc("GET /statz", s.handleStatz)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /chaos", s.handleChaosGet)
+	s.mux.HandleFunc("POST /chaos", s.handleChaosArm)
+	s.mux.HandleFunc("DELETE /chaos", s.handleChaosReset)
+	s.mux.HandleFunc("DELETE /chaos/{id}", s.handleChaosDisarm)
 	return s
 }
 
@@ -137,7 +141,16 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	body := map[string]any{"status": "ok"}
+	// Quarantined models are reported but do NOT fail readiness: the
+	// quarantine is the containment working — every sibling model on
+	// this node still serves.
+	if q, ok := s.eng.(interface{ Quarantined() []string }); ok {
+		if names := q.Quarantined(); len(names) > 0 {
+			body["quarantined"] = names
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // Drain puts the front end into draining mode: new predictions are
@@ -181,13 +194,32 @@ func statusFor(err error) int {
 		return http.StatusGatewayTimeout
 	case errors.Is(err, runtime.ErrOverloaded):
 		return http.StatusTooManyRequests
+	case errors.Is(err, runtime.ErrModelQuarantined):
+		// The model is shedding while its panic quarantine lapses; the
+		// node itself is healthy. 503 + Retry-After steers clients (and
+		// the cluster router's failover) elsewhere meanwhile.
+		return http.StatusServiceUnavailable
 	case errors.Is(err, runtime.ErrClosed), errors.Is(err, serving.ErrNotReady):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, runtime.ErrInvalidInput), errors.Is(err, serving.ErrBadModel):
 		return http.StatusBadRequest
+	case errors.Is(err, runtime.ErrKernelPanic):
+		// A contained kernel panic: an internal error of this one
+		// request's model, not an overload or availability condition.
+		return http.StatusInternalServerError
 	default:
 		return http.StatusInternalServerError
 	}
+}
+
+// retryAfterFor extracts a concrete Retry-After duration from a
+// quarantine error (0 when err carries none).
+func retryAfterFor(err error) time.Duration {
+	var qe *runtime.QuarantinedError
+	if errors.As(err, &qe) {
+		return qe.RetryAfter()
+	}
+	return 0
 }
 
 // retryAfterSeconds is the Retry-After hint sent with 429 responses:
@@ -205,6 +237,13 @@ func (s *Server) retryAfterSeconds() int {
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
+
+// DeadlineHeader carries the request's REMAINING deadline budget in
+// nanoseconds on proxied predictions. A relative duration survives
+// clock skew between router and node where an absolute timestamp would
+// not; every hop recomputes it, so the budget shrinks as the request
+// ages through retries and hedges.
+const DeadlineHeader = "X-Pretzel-Deadline-Ns"
 
 // Request is the JSON prediction request body.
 type Request struct {
@@ -245,6 +284,17 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if req.DeadlineUnixNS > 0 {
 		deadline = time.Unix(0, req.DeadlineUnixNS)
 	}
+	// A routed request carries its remaining budget as a relative
+	// duration; the soonest bound wins so a node never works past what
+	// the router will wait for.
+	if h := r.Header.Get(DeadlineHeader); h != "" {
+		if ns, err := strconv.ParseInt(h, 10, 64); err == nil {
+			hd := time.Now().Add(time.Duration(ns))
+			if deadline.IsZero() || hd.Before(deadline) {
+				deadline = hd
+			}
+		}
+	}
 	prio := runtime.PriorityNormal
 	if req.Priority == "high" {
 		prio = runtime.PriorityHigh
@@ -256,6 +306,10 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			// Shed load tells clients when to come back: standard 429
 			// backoff semantics.
 			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		}
+		if ra := retryAfterFor(err); ra > 0 {
+			// Quarantined model: tell clients exactly when it lapses.
+			w.Header().Set("Retry-After", strconv.Itoa(int(ra/time.Second)+1))
 		}
 		writeJSON(w, code, Response{Error: err.Error()})
 		return

@@ -52,7 +52,7 @@ func RunStageBatch(s *Stage, ec *Exec, insRows [][]*vector.Vector, outs []*vecto
 		return fmt.Errorf("plan: stage %x uses the accumulator but got %d accs for %d records", s.ID, len(accs), len(outs))
 	}
 	start := time.Now()
-	err := runStageBatchInner(s, kern, ec, insRows, outs, accs)
+	err := guardStageBatch(s, kern, ec, insRows, outs, accs)
 	s.metrics.nanos.Add(uint64(time.Since(start)))
 	s.metrics.execs.Add(1)
 	s.metrics.records.Add(uint64(len(outs)))

@@ -465,7 +465,7 @@ func runStage(s *Stage, ec *Exec, ins []*vector.Vector, out *vector.Vector) erro
 		return fmt.Errorf("plan: stage %x has no kernel bound", s.ID)
 	}
 	start := time.Now()
-	err := runStageInner(s, kern, ec, ins, out)
+	err := guardStage(s, kern, ec, ins, out)
 	s.metrics.nanos.Add(uint64(time.Since(start)))
 	s.metrics.execs.Add(1)
 	s.metrics.records.Add(1)

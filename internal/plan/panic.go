@@ -1,0 +1,73 @@
+// Kernel panic containment. PRETZEL runs many tenants' pipelines in
+// one address space — the price of white-box model density is that a
+// single panicking kernel would otherwise take down every model on the
+// node. Both stage-execution entry points (the request-response
+// runStage and the batch engine's RunStageBatch) therefore run the
+// kernel inside a recover() barrier: a panic becomes a *PanicError
+// carrying the stage identity and the captured stack, which the
+// runtime maps to its typed ErrKernelPanic and counts toward the
+// model's quarantine window. The process and every sibling model keep
+// serving.
+package plan
+
+import (
+	"fmt"
+	"runtime/debug"
+
+	"pretzel/internal/vector"
+)
+
+// PanicError is a kernel panic converted into an error at the stage
+// boundary: the panic value and goroutine stack captured at recovery,
+// plus the identity of the stage that blew up.
+type PanicError struct {
+	// StageID identifies the physical stage whose kernel panicked.
+	StageID uint64
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("plan: kernel panic in stage %x: %v", e.StageID, e.Value)
+}
+
+// FaultFunc is the kernel-level fault-injection hook (see Exec.Fault):
+// called inside the recover barrier before the kernel runs, it may
+// return an error to inject a typed failure, or panic deliberately to
+// exercise the full panic-containment path — exactly what a buggy
+// kernel would do.
+type FaultFunc func(model string) error
+
+// guardStage runs one per-record stage execution inside the recover
+// barrier, converting a kernel panic into a *PanicError.
+func guardStage(s *Stage, kern Kernel, ec *Exec, ins []*vector.Vector, out *vector.Vector) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{StageID: s.ID, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	if ec.Fault != nil {
+		if ferr := ec.Fault(ec.FaultModel); ferr != nil {
+			return ferr
+		}
+	}
+	return runStageInner(s, kern, ec, ins, out)
+}
+
+// guardStageBatch is guardStage for the batch path: one recover
+// barrier around the whole stage event.
+func guardStageBatch(s *Stage, kern Kernel, ec *Exec, insRows [][]*vector.Vector, outs []*vector.Vector, accs []float32) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{StageID: s.ID, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	if ec.Fault != nil {
+		if ferr := ec.Fault(ec.FaultModel); ferr != nil {
+			return ferr
+		}
+	}
+	return runStageBatchInner(s, kern, ec, insRows, outs, accs)
+}

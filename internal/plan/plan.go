@@ -63,6 +63,15 @@ type Exec struct {
 	// batchsweep ablation baseline).
 	DisableBatchKernels bool
 
+	// Fault, when non-nil, is the kernel-level fault-injection hook:
+	// called (with FaultModel) inside the recover barrier before each
+	// stage kernel runs. It may return an error to inject a typed
+	// failure or panic deliberately to exercise panic containment.
+	// Nil in production — one branch on the hot path.
+	Fault FaultFunc
+	// FaultModel is the resolved model reference handed to Fault.
+	FaultModel string
+
 	// Scratch state reused across stage executions.
 	TokBuf  []byte
 	WStream text.WordNgramStream
@@ -153,6 +162,8 @@ func (e *Exec) Cancelled() error {
 func (e *Exec) ClearRequestState() {
 	e.Ctx = nil
 	e.DeadlineNS = 0
+	e.Fault = nil
+	e.FaultModel = ""
 }
 
 // Kernel is a physical stage implementation: an AOT-compiled parametric

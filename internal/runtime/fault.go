@@ -1,0 +1,151 @@
+// Fault containment: kernel panics recovered at the stage boundary
+// (plan.PanicError) surface here as the typed ErrKernelPanic, are
+// counted per model, and — after PanicThreshold panics inside
+// PanicWindow — trip a timed quarantine for the model. A quarantined
+// model sheds requests with ErrModelQuarantined (HTTP 503 +
+// Retry-After) while every sibling model and the process itself keep
+// serving: the blast radius of a buggy kernel in PRETZEL's shared
+// address space is one model, not the node.
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"pretzel/internal/plan"
+)
+
+var (
+	// ErrKernelPanic reports a kernel that panicked during execution.
+	// The panic was recovered at the stage boundary — the process and
+	// all other models keep serving — and counted toward the model's
+	// quarantine window.
+	ErrKernelPanic = errors.New("runtime: kernel panic")
+	// ErrModelQuarantined reports a model taken out of service because
+	// its kernels panicked repeatedly. Callers should retry elsewhere
+	// or after the quarantine lapses (HTTP 503 + Retry-After).
+	ErrModelQuarantined = errors.New("runtime: model quarantined")
+)
+
+// QuarantinedError is the concrete error for a quarantined model: it
+// unwraps to ErrModelQuarantined and carries the lapse time so the
+// front end can emit a Retry-After header.
+type QuarantinedError struct {
+	// Model is the bare model name under quarantine.
+	Model string
+	// Until is when the quarantine lapses.
+	Until time.Time
+}
+
+func (e *QuarantinedError) Error() string {
+	return fmt.Sprintf("%v: %q until %s", ErrModelQuarantined, e.Model, e.Until.Format(time.RFC3339))
+}
+
+func (e *QuarantinedError) Unwrap() error { return ErrModelQuarantined }
+
+// RetryAfter returns the remaining quarantine duration (>= 0).
+func (e *QuarantinedError) RetryAfter() time.Duration {
+	if d := time.Until(e.Until); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// maxLastPanic bounds the retained last-panic report (message +
+// truncated stack) exposed through ModelLoad.
+const maxLastPanic = 512
+
+// SetKernelFault installs (or, with nil, removes) the kernel-level
+// fault-injection hook threaded into every stage execution of both
+// engines. The hook runs inside the stage recover barrier, so it can
+// return a typed error or panic deliberately — exercising exactly the
+// containment path a buggy kernel would. Chaos testing only; nil in
+// production.
+func (rt *Runtime) SetKernelFault(fn plan.FaultFunc) { rt.fault.Store(fn) }
+
+// kernelFault returns the installed fault hook (nil when disarmed).
+func (rt *Runtime) kernelFault() plan.FaultFunc {
+	f, _ := rt.fault.Load().(plan.FaultFunc)
+	return f
+}
+
+// notePanic accounts one recovered kernel panic against the model and
+// trips the quarantine when PanicThreshold panics land inside
+// PanicWindow. Called off the success path only.
+func (rt *Runtime) notePanic(r *Registered, pe *plan.PanicError) {
+	rt.panicCnt.Add(1)
+	ms := r.stats
+	ms.panics.Add(1)
+	report := pe.Error() + "\n" + string(pe.Stack)
+	if len(report) > maxLastPanic {
+		report = report[:maxLastPanic]
+	}
+	ms.lastPanic.Store(report)
+	if rt.cfg.PanicThreshold < 0 {
+		return // quarantine disabled
+	}
+	now := time.Now().UnixNano()
+	ms.panicMu.Lock()
+	cutoff := now - int64(rt.cfg.PanicWindow)
+	recent := ms.recentPanics[:0]
+	for _, t := range ms.recentPanics {
+		if t >= cutoff {
+			recent = append(recent, t)
+		}
+	}
+	recent = append(recent, now)
+	ms.recentPanics = recent
+	if len(recent) >= rt.cfg.PanicThreshold && ms.quarantinedUntil.Load() <= now {
+		ms.quarantinedUntil.Store(now + int64(rt.cfg.Quarantine))
+		ms.quarantines.Add(1)
+		rt.quarCnt.Add(1)
+		ms.recentPanics = ms.recentPanics[:0]
+	}
+	ms.panicMu.Unlock()
+}
+
+// quarantined reports an active quarantine on the model (0 when none).
+func (ms *modelStats) quarantined(now int64) (untilNS int64) {
+	if until := ms.quarantinedUntil.Load(); until > now {
+		return until
+	}
+	return 0
+}
+
+// Quarantined lists the bare names of currently quarantined models,
+// sorted (readiness reporting: a node with quarantined models is still
+// ready — the quarantine is the containment working, not an outage).
+func (rt *Runtime) Quarantined() []string {
+	now := time.Now().UnixNano()
+	rt.mu.RLock()
+	var out []string
+	for n, m := range rt.models {
+		if m.stats.quarantined(now) != 0 {
+			out = append(out, n)
+		}
+	}
+	rt.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// FaultStats is the node-wide fault-containment snapshot.
+type FaultStats struct {
+	// Panics counts kernel panics recovered at the stage boundary.
+	Panics uint64 `json:"panics"`
+	// Quarantines counts quarantine trips across all models.
+	Quarantines uint64 `json:"quarantines"`
+	// Quarantined lists models currently under quarantine.
+	Quarantined []string `json:"quarantined,omitempty"`
+}
+
+// FaultStats returns a snapshot of the fault-containment counters.
+func (rt *Runtime) FaultStats() FaultStats {
+	return FaultStats{
+		Panics:      rt.panicCnt.Load(),
+		Quarantines: rt.quarCnt.Load(),
+		Quarantined: rt.Quarantined(),
+	}
+}

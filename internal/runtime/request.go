@@ -86,9 +86,16 @@ func (t *Ticket) Wait() error { return mapError(t.job.Wait()) }
 // mapError folds lower-layer failure causes into the API's typed
 // sentinels; unrecognized errors pass through unchanged.
 func mapError(err error) error {
-	switch {
-	case err == nil:
+	if err == nil {
 		return nil
+	}
+	// Declared after the nil check: &pe escapes into errors.As, so an
+	// earlier declaration would heap-allocate on the zero-alloc warm
+	// path too.
+	var pe *plan.PanicError
+	switch {
+	case errors.As(err, &pe):
+		return fmt.Errorf("%w: %v", ErrKernelPanic, err)
 	case errors.Is(err, context.DeadlineExceeded):
 		return fmt.Errorf("%w (%v)", ErrDeadlineExceeded, err)
 	case errors.Is(err, context.Canceled):
@@ -199,9 +206,18 @@ func (rt *Runtime) PredictRequest(req Request) error {
 	ec := rt.execPool.Get().(*plan.Exec)
 	ec.Ctx = req.Ctx
 	ec.DeadlineNS = ns
+	if f := rt.kernelFault(); f != nil {
+		ec.Fault, ec.FaultModel = f, r.Name
+	}
 	err = plan.RunPlan(r.Plan, ec, req.In, req.Out)
 	ec.ClearRequestState()
 	rt.execPool.Put(ec)
+	if err != nil {
+		var pe *plan.PanicError
+		if errors.As(err, &pe) {
+			rt.notePanic(r, pe)
+		}
+	}
 	return mapError(err)
 }
 
@@ -258,12 +274,19 @@ func (rt *Runtime) SubmitRequestBatch(req BatchRequest) (*Ticket, error) {
 		j.SetDeadline(req.Deadline)
 	}
 	j.SetHighPriority(req.Priority == PriorityHigh)
+	if f := rt.kernelFault(); f != nil {
+		j.SetFault(f, r.Name)
+	}
 	// The version stays pinned (Unregister drains it) until the job
 	// finishes, even if the caller never Waits. Completion releases the
 	// admission slot and records end-to-end latency (queue wait
 	// included) in the model's histogram.
 	start := time.Now()
-	j.SetOnDone(func(error) {
+	j.SetOnDone(func(err error) {
+		var pe *plan.PanicError
+		if errors.As(err, &pe) {
+			rt.notePanic(r, pe)
+		}
 		rt.exit(r)
 		r.stats.lat.Record(time.Since(start))
 		r.release()

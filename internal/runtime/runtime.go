@@ -23,6 +23,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pretzel/internal/metrics"
 	"pretzel/internal/plan"
@@ -71,6 +72,17 @@ type Config struct {
 	// starve the rest. PriorityHigh requests bypass the per-model limit
 	// (they remain subject to the global MaxInFlight).
 	MaxInFlightPerModel int
+
+	// PanicThreshold quarantines a model after this many recovered
+	// kernel panics inside PanicWindow (0 = default 3, < 0 disables
+	// quarantine; panics are still recovered and counted).
+	PanicThreshold int
+	// PanicWindow is the sliding window panics are counted over
+	// (0 = default 10s).
+	PanicWindow time.Duration
+	// Quarantine is how long a tripped model sheds requests with
+	// ErrModelQuarantined before serving again (0 = default 30s).
+	Quarantine time.Duration
 }
 
 // Registered is one installed version of a model.
@@ -101,15 +113,36 @@ type modelStats struct {
 	lat      metrics.Histogram
 	inflight atomic.Int64
 	shed     atomic.Uint64
+
+	// Fault-containment state (off the success path: only touched when
+	// a kernel panics or a snapshot is taken). quarantinedUntil is the
+	// quarantine lapse in Unix nanoseconds (0 / past = serving);
+	// recentPanics is the panicMu-guarded sliding window.
+	panics           atomic.Uint64
+	quarantines      atomic.Uint64
+	quarantinedUntil atomic.Int64
+	lastPanic        atomic.Value // string: last panic report, truncated
+	panicMu          sync.Mutex
+	recentPanics     []int64
 }
 
 // load snapshots the per-model overload counters.
 func (ms *modelStats) load() ModelLoad {
-	return ModelLoad{
-		InFlight: ms.inflight.Load(),
-		Shed:     ms.shed.Load(),
-		Latency:  ms.lat.Snapshot(),
+	ml := ModelLoad{
+		InFlight:    ms.inflight.Load(),
+		Shed:        ms.shed.Load(),
+		Latency:     ms.lat.Snapshot(),
+		Panics:      ms.panics.Load(),
+		Quarantines: ms.quarantines.Load(),
 	}
+	if until := ms.quarantined(time.Now().UnixNano()); until != 0 {
+		ml.Quarantined = true
+		ml.QuarantinedUntil = until
+	}
+	if lp, ok := ms.lastPanic.Load().(string); ok {
+		ml.LastPanic = lp
+	}
+	return ml
 }
 
 // model groups the installed versions of one name with its labels.
@@ -150,6 +183,13 @@ type Runtime struct {
 	inflight atomic.Int64
 	shedCnt  atomic.Uint64
 
+	// Fault-containment state: node-wide recovered-panic and
+	// quarantine-trip counters, and the installed kernel fault hook
+	// (plan.FaultFunc; chaos testing only, nil in production).
+	panicCnt atomic.Uint64
+	quarCnt  atomic.Uint64
+	fault    atomic.Value
+
 	closed atomic.Bool
 
 	// rrPool supplies vectors to the request-response engine.
@@ -159,6 +199,15 @@ type Runtime struct {
 
 // New starts a runtime. objStore may be nil (no parameter sharing).
 func New(objStore *store.ObjectStore, cfg Config) *Runtime {
+	if cfg.PanicThreshold == 0 {
+		cfg.PanicThreshold = 3
+	}
+	if cfg.PanicWindow <= 0 {
+		cfg.PanicWindow = 10 * time.Second
+	}
+	if cfg.Quarantine <= 0 {
+		cfg.Quarantine = 30 * time.Second
+	}
 	rt := &Runtime{
 		cfg:      cfg,
 		objStore: objStore,
@@ -289,12 +338,20 @@ func (rt *Runtime) resolveLocked(name, ref string) (*Registered, error) {
 }
 
 // acquire resolves a model reference and marks one request in flight
-// against the resolved version; the caller must release() it.
+// against the resolved version; the caller must release() it. A model
+// under quarantine sheds the request here — before any slot or pin is
+// taken — with a QuarantinedError carrying the lapse time.
 func (rt *Runtime) acquire(ref string) (*Registered, error) {
 	name, rest := SplitRef(ref)
 	rt.mu.RLock()
 	r, err := rt.resolveLocked(name, rest)
 	if err == nil {
+		// One atomic load on the hot path; the clock is only read once
+		// a quarantine has ever been tripped on this model.
+		if until := r.stats.quarantinedUntil.Load(); until != 0 && until > time.Now().UnixNano() {
+			rt.mu.RUnlock()
+			return nil, &QuarantinedError{Model: r.Name, Until: time.Unix(0, until)}
+		}
 		r.inflight.Add(1)
 	}
 	rt.mu.RUnlock()
@@ -542,6 +599,15 @@ type ModelLoad struct {
 	InFlight int64                     `json:"in_flight"`
 	Shed     uint64                    `json:"shed"`
 	Latency  metrics.HistogramSnapshot `json:"latency"`
+
+	// Fault containment: recovered kernel panics and quarantine trips
+	// for this model, whether a quarantine is active right now (and
+	// until when, Unix ns), and the truncated last-panic report.
+	Panics           uint64 `json:"panics,omitempty"`
+	Quarantines      uint64 `json:"quarantines,omitempty"`
+	Quarantined      bool   `json:"quarantined,omitempty"`
+	QuarantinedUntil int64  `json:"quarantined_until_ns,omitempty"`
+	LastPanic        string `json:"last_panic,omitempty"`
 }
 
 // ModelInfo describes one model: its labels, installed versions and

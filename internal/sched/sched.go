@@ -15,6 +15,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -59,6 +60,8 @@ type Job struct {
 	deadlineNS int64
 	highPrio   bool
 	onDone     func(error)
+	fault      plan.FaultFunc
+	faultModel string
 
 	done     chan error
 	doneOnce sync.Once
@@ -133,6 +136,14 @@ func (j *Job) SetHighPriority(high bool) { j.highPrio = high }
 // SetOnDone registers a hook invoked exactly once when the job
 // finishes (nil error on success). Must be called before Submit.
 func (j *Job) SetOnDone(fn func(error)) { j.onDone = fn }
+
+// SetFault attaches the kernel-level fault-injection hook threaded
+// into every stage execution of this job (chaos testing; nil in
+// production). Must be called before Submit.
+func (j *Job) SetFault(fn plan.FaultFunc, model string) {
+	j.fault = fn
+	j.faultModel = model
+}
 
 // expired reports the job's cancellation cause, nil while live.
 func (j *Job) expired() error {
@@ -643,36 +654,7 @@ func (s *Scheduler) exec(ev event, ec *plan.Exec, qs *queueSet, idx int) {
 		}
 	}
 	if !j.failed.Load() {
-		// Vectors are requested per pipeline, lazily, when the first
-		// stage executes: the job binds this executor's pool (and its
-		// shard) for returns.
-		j.poolOnce.Do(func() { j.retPool, j.retShard = ec.Pool, ec.Shard })
-		ec.Cache = j.cache
-
-		st := j.Plan.Stages[ev.stage]
-		nRec := len(j.Ins)
-		row := j.stageRow(ev.stage)
-		if ev.stage == len(j.Plan.Stages)-1 {
-			copy(row, j.Outs)
-		} else {
-			// One pool visit acquires the whole record row for the stage.
-			ec.Pool.GetNUniform(ec.Shard, row, st.OutCap)
-		}
-		j.outputs[ev.stage] = row
-		// Assemble the batch input table in executor-owned storage, then
-		// push the whole record row through the stage in one invocation.
-		insRows := ec.InsRows(nRec, len(st.Inputs))
-		for r := 0; r < nRec; r++ {
-			ins := insRows[r]
-			for c, src := range st.Inputs {
-				if src == plan.InputID {
-					ins[c] = j.Ins[r]
-				} else {
-					ins[c] = j.outputs[src][r]
-				}
-			}
-		}
-		if err := plan.RunStageBatch(st, ec, insRows, row, j.accs); err != nil {
+		if err := s.execStage(j, ev, ec); err != nil {
 			j.fail(fmt.Errorf("sched: plan %s stage %d: %w", j.Plan.Name, ev.stage, err))
 		}
 	}
@@ -702,6 +684,53 @@ func (s *Scheduler) exec(ev event, ec *plan.Exec, qs *queueSet, idx int) {
 	if j.completeStage() {
 		s.finishCounters(j)
 	}
+}
+
+// execStage runs the stage body for one event: acquire the stage's
+// record row, assemble the batch input table, and push it through
+// RunStageBatch with the job's fault hook threaded into the execution
+// context. The recover here is a backstop for panics OUTSIDE the
+// kernel barrier (row assembly, pool accounting): an executor
+// goroutine must never die, because it is shared by every model on the
+// node — a panic fails the one job and the worker keeps draining.
+func (s *Scheduler) execStage(j *Job, ev event, ec *plan.Exec) (err error) {
+	defer func() {
+		ec.Fault, ec.FaultModel = nil, ""
+		if v := recover(); v != nil {
+			err = &plan.PanicError{StageID: j.Plan.Stages[ev.stage].ID, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	// Vectors are requested per pipeline, lazily, when the first
+	// stage executes: the job binds this executor's pool (and its
+	// shard) for returns.
+	j.poolOnce.Do(func() { j.retPool, j.retShard = ec.Pool, ec.Shard })
+	ec.Cache = j.cache
+	ec.Fault, ec.FaultModel = j.fault, j.faultModel
+
+	st := j.Plan.Stages[ev.stage]
+	nRec := len(j.Ins)
+	row := j.stageRow(ev.stage)
+	if ev.stage == len(j.Plan.Stages)-1 {
+		copy(row, j.Outs)
+	} else {
+		// One pool visit acquires the whole record row for the stage.
+		ec.Pool.GetNUniform(ec.Shard, row, st.OutCap)
+	}
+	j.outputs[ev.stage] = row
+	// Assemble the batch input table in executor-owned storage, then
+	// push the whole record row through the stage in one invocation.
+	insRows := ec.InsRows(nRec, len(st.Inputs))
+	for r := 0; r < nRec; r++ {
+		ins := insRows[r]
+		for c, src := range st.Inputs {
+			if src == plan.InputID {
+				ins[c] = j.Ins[r]
+			} else {
+				ins[c] = j.outputs[src][r]
+			}
+		}
+	}
+	return plan.RunStageBatch(st, ec, insRows, row, j.accs)
 }
 
 // finishCounters accounts one finished job in the scheduler stats.

@@ -91,6 +91,10 @@ type Stats struct {
 	// MemBytes is the engine's estimated parameter + plan footprint.
 	MemBytes int `json:"mem_bytes"`
 
+	// Faults is the fault-containment snapshot (nil for routing
+	// engines: panics are a node property; see each node's own /statz).
+	Faults *runtime.FaultStats `json:"faults,omitempty"`
+
 	// Cluster is the routing tier's view (nil for local engines).
 	Cluster *ClusterStats `json:"cluster,omitempty"`
 }
@@ -107,6 +111,12 @@ type ClusterStats struct {
 	// moved a request to another replica after a node-level failure.
 	Forwards  uint64 `json:"forwards"`
 	Failovers uint64 `json:"failovers"`
+	// Retries counts attempts beyond each request's first (all of them
+	// budgeted); Hedges counts backup requests fired after HedgeDelay,
+	// and HedgeWins how many of those answered before their primary.
+	Retries   uint64 `json:"retries,omitempty"`
+	Hedges    uint64 `json:"hedges,omitempty"`
+	HedgeWins uint64 `json:"hedge_wins,omitempty"`
 
 	Nodes []NodeStats `json:"nodes"`
 }

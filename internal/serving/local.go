@@ -33,6 +33,13 @@ func NewLocal(rt *runtime.Runtime, opts *oven.Options) *Local {
 // tools and tests; transport engines have no equivalent).
 func (l *Local) Runtime() *runtime.Runtime { return l.rt }
 
+// SetKernelFault installs (nil removes) the runtime's kernel-level
+// fault-injection hook (chaos testing; see runtime.SetKernelFault).
+func (l *Local) SetKernelFault(fn func(model string) error) { l.rt.SetKernelFault(fn) }
+
+// Quarantined lists models currently under panic quarantine.
+func (l *Local) Quarantined() []string { return l.rt.Quarantined() }
+
 // Predict serves one input on the request-response engine.
 func (l *Local) Predict(ctx context.Context, model, input string, opts PredictOptions) ([]float32, error) {
 	in := vector.New(0)
@@ -126,7 +133,9 @@ func (l *Local) SetLabel(name, label string, version int) error {
 
 // Stats snapshots the runtime's white-box counters.
 func (l *Local) Stats() Stats {
+	faults := l.rt.FaultStats()
 	return Stats{
+		Faults:      &faults,
 		Kind:        "local",
 		Catalog:     l.rt.CatalogStats(),
 		RRPool:      l.rt.PoolStats(),

@@ -54,6 +54,7 @@
 package pretzel
 
 import (
+	"pretzel/internal/chaos"
 	"pretzel/internal/cluster"
 	"pretzel/internal/flour"
 	"pretzel/internal/frontend"
@@ -125,6 +126,17 @@ type (
 	// RouterEngine is the cluster Engine: consistent-hash placement
 	// over K of N nodes with failover routing and circuit breaking.
 	RouterEngine = cluster.Router
+	// FaultStats is the node-wide fault-containment snapshot (kernel
+	// panics recovered, quarantines tripped and active).
+	FaultStats = runtime.FaultStats
+	// QuarantinedError carries a quarantined model's lapse time; it
+	// unwraps to ErrModelQuarantined.
+	QuarantinedError = runtime.QuarantinedError
+	// ChaosInjector is the deterministic fault-injection Engine
+	// middleware (latency, typed errors, kernel panics, blackouts).
+	ChaosInjector = chaos.Injector
+	// ChaosRule is one armed fault of a ChaosInjector.
+	ChaosRule = chaos.Rule
 )
 
 // Typed sentinel errors of the serving API (match with errors.Is).
@@ -137,6 +149,12 @@ var (
 	// ErrOverloaded reports a request shed at admission because the
 	// configured in-flight limits are exhausted (HTTP 429 + Retry-After).
 	ErrOverloaded = runtime.ErrOverloaded
+	// ErrKernelPanic reports a kernel that panicked during execution;
+	// the panic was contained at the stage boundary (HTTP 500).
+	ErrKernelPanic = runtime.ErrKernelPanic
+	// ErrModelQuarantined reports a model shedding requests after
+	// repeated kernel panics (HTTP 503 + Retry-After).
+	ErrModelQuarantined = runtime.ErrModelQuarantined
 )
 
 // Request priorities and the default label.
@@ -145,6 +163,14 @@ const (
 	PriorityHigh   = runtime.PriorityHigh
 	// LabelStable is the label bare model references resolve through.
 	LabelStable = runtime.LabelStable
+)
+
+// Effects a ChaosRule can inject.
+const (
+	ChaosLatency  = chaos.EffectLatency
+	ChaosError    = chaos.EffectError
+	ChaosPanic    = chaos.EffectPanic
+	ChaosBlackout = chaos.EffectBlackout
 )
 
 // NewVector returns an empty data vector.
@@ -194,6 +220,12 @@ func NewFrontEndOver(eng Engine, cfg FrontEndConfig) *FrontEnd { return frontend
 func NewRouterEngine(members []ClusterMember, cfg ClusterConfig) (*RouterEngine, error) {
 	return cluster.NewRouter(members, cfg)
 }
+
+// NewChaosInjector wraps an engine with a disarmed deterministic
+// fault injector: arm ChaosRules to inject latency, typed errors,
+// kernel panics or blackouts into the traffic flowing through it. The
+// seed makes every probabilistic decision replayable.
+func NewChaosInjector(eng Engine, seed int64) *ChaosInjector { return chaos.New(eng, seed) }
 
 // ImportPipeline deserializes a pipeline from exported model-file bytes.
 func ImportPipeline(b []byte) (*Pipeline, error) { return pipeline.ImportBytes(b) }

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Cluster smoke test: two real pretzel-server node processes + one
 # router process. Registers a model through the router with replication
-# K=2, asserts a routed /predict round-trips, kills one node with
-# SIGTERM (exercising graceful shutdown), and asserts the replicated
-# model keeps serving through failover. Run from the repo root:
+# K=2, asserts a routed /predict round-trips, arms a latency+error
+# chaos fault on one node mid-traffic (asserting hedged/retried routed
+# predicts still succeed), kills one node with SIGTERM (exercising
+# graceful shutdown), and asserts the replicated model keeps serving
+# through failover. Run from the repo root:
 #
 #   ./scripts/cluster_smoke.sh
 set -euo pipefail
@@ -47,14 +49,19 @@ log "model: $MODEL"
 
 # Two empty nodes + a router over them (K=2: the model replicates to
 # both, so either node can die without losing it).
-"$BIN" -models "$WORK/none" -addr 127.0.0.1:7101 -executors 2 &
+# -chaos: nodes expose /chaos fault-injection endpoints for the
+# mid-traffic chaos drill below. -cache 0 on the nodes too: a node's
+# prediction cache sits in front of the injector and would serve the
+# repeated smoke input without ever reaching the armed faults.
+"$BIN" -models "$WORK/none" -addr 127.0.0.1:7101 -executors 2 -cache 0 -chaos -chaos-seed 7 &
 PIDS+=($!); NODE1=$!
-"$BIN" -models "$WORK/none" -addr 127.0.0.1:7102 -executors 2 &
+"$BIN" -models "$WORK/none" -addr 127.0.0.1:7102 -executors 2 -cache 0 -chaos -chaos-seed 7 &
 PIDS+=($!)
 # -cache 0: every predict must actually route (a cached result would
-# mask a broken failover path).
+# mask a broken failover path). -hedge-delay: slow owners get a backup
+# request to the other replica.
 "$BIN" -router -nodes 127.0.0.1:7101,127.0.0.1:7102 -replication 2 \
-  -probe-interval 100ms -cache 0 -addr 127.0.0.1:7100 &
+  -probe-interval 100ms -cache 0 -hedge-delay 20ms -addr 127.0.0.1:7100 &
 PIDS+=($!)
 
 wait_ready http://127.0.0.1:7101 "node1"
@@ -75,6 +82,39 @@ predict() {
 OUT=$(predict)
 echo "$OUT" | grep -q '"prediction"' || { log "routed predict failed: $OUT"; exit 1; }
 log "routed predict ok: $OUT"
+
+# Chaos drill: degrade node1 with always-on injected latency (the
+# hedged path: a slow owner gets a backup request to the replica) and
+# arm one guaranteed typed error on EACH node (the retry path: whoever
+# is primary fails the first attempt; max_hits=1 keeps the error from
+# recurring). The router's hedging and budgeted retries must keep
+# every routed predict green, whichever node is the model's primary.
+log "arming chaos faults (latency on node1, one-shot errors on both nodes)"
+curl -fsS -X POST -H 'Content-Type: application/json' \
+  -d '{"effect":"latency","latency_ms":60,"op":"predict"}' \
+  http://127.0.0.1:7101/chaos >/dev/null
+for port in 7101 7102; do
+  curl -fsS -X POST -H 'Content-Type: application/json' \
+    -d '{"effect":"error","error":"overloaded","op":"predict","max_hits":1}' \
+    "http://127.0.0.1:$port/chaos" >/dev/null
+done
+for _ in $(seq 1 10); do
+  OUT=$(predict)
+  echo "$OUT" | grep -q '"prediction"' || { log "predict failed under chaos fault: $OUT"; exit 1; }
+done
+INJ=0
+for port in 7101 7102; do
+  CHAOS=$(curl -fsS "http://127.0.0.1:$port/chaos")
+  echo "$CHAOS" | grep -q '"rules"' || { log "node $port /chaos state missing rules: $CHAOS"; exit 1; }
+  N=$(echo "$CHAOS" | grep -o '"injected":[0-9]*' | cut -d: -f2)
+  INJ=$((INJ + N))
+done
+[ "$INJ" -gt 0 ] || { log "chaos faults armed but never fired (injected=$INJ)"; exit 1; }
+log "routed predicts green under chaos faults ($INJ injections absorbed by hedge/retry)"
+for port in 7101 7102; do
+  curl -fsS -X DELETE "http://127.0.0.1:$port/chaos" >/dev/null
+done
+log "chaos faults disarmed"
 
 log "killing node1 (SIGTERM, graceful shutdown)"
 kill -TERM "$NODE1"
