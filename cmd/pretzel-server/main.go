@@ -1,17 +1,23 @@
 // Command pretzel-server serves predictions over HTTP with a
 // white-box management plane. The same binary runs in two modes:
 //
-// Node mode (default): loads a model repository (zips exported by
-// pretzel-train), compiles every pipeline into a model plan sharing
-// parameters through the Object Store, and serves from a local engine:
+// Node mode (default): opens a versioned on-disk model repository
+// (zips exported by pretzel-train, laid out <name>/<version>/model.zip;
+// legacy flat <name>.zip files are picked up as version 1) behind a
+// lifecycle manager: models are admitted to RAM under -ram-budget,
+// evicted back to disk LRU-first when it overflows, and cold-loaded on
+// their first request. Uploads write through the repository, so a
+// restarted node recovers its whole catalog from disk:
 //
 //	POST   /predict {"model":"sa-001","input":"a nice product","timeout_ms":50}
-//	GET    /models                     models, labels, versions
+//	GET    /models                     models, labels, versions, lifecycle state
 //	GET    /models/sa-001              per-stage latency/exec counters
-//	POST   /models?name=sa-001&version=2   register an uploaded zip
+//	POST   /models?name=sa-001&version=2   register an uploaded zip (persisted)
 //	POST   /models/sa-001/labels       {"label":"stable","version":2}  hot swap
+//	POST   /models/sa-001/pin          exempt from budget eviction
 //	DELETE /models/sa-001@1            unregister one version (drains first)
-//	GET    /statz                      pool / catalog / scheduler / cache stats
+//	GET    /statz                      pool / catalog / scheduler / cache /
+//	                                   lifecycle (residency, cold-start) stats
 //	GET    /healthz                    liveness
 //	GET    /readyz                     readiness (runtime open, not saturated)
 //
@@ -32,9 +38,8 @@ import (
 	"fmt"
 	"log"
 	"net/http"
-	"os"
 	"os/signal"
-	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -43,11 +48,10 @@ import (
 	"pretzel/internal/chaos"
 	"pretzel/internal/cluster"
 	"pretzel/internal/frontend"
-	"pretzel/internal/ops"
+	"pretzel/internal/lifecycle"
 	"pretzel/internal/oven"
-	"pretzel/internal/pipeline"
+	"pretzel/internal/repo"
 	"pretzel/internal/serving"
-	"pretzel/internal/store"
 )
 
 func main() {
@@ -66,6 +70,9 @@ func main() {
 		materalize = flag.Bool("materialize", false, "compile for sub-plan materialization")
 		maxUpload  = flag.Int64("max-upload", 64<<20, "POST /models body limit in bytes")
 		drainWait  = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for draining batchers and in-flight requests")
+		ramBudget  = flag.String("ram-budget", "0", "node mode: RAM budget for resident models, e.g. 512M or 2G (0 = unlimited)")
+		repoPoll   = flag.Duration("repo-poll", 0, "node mode: rescan the model repository for externally published versions at this interval (0 = off)")
+		lazyLoad   = flag.Bool("lazy-load", false, "node mode: skip the startup preload; every model cold-loads on its first request")
 
 		router      = flag.Bool("router", false, "run as cluster router instead of serving node")
 		nodes       = flag.String("nodes", "", "router mode: comma-separated node addresses (host:port or http://host:port)")
@@ -113,13 +120,30 @@ func main() {
 		eng = r
 		descrip = fmt.Sprintf("router over %d nodes (replication %d)", len(members), *replication)
 	} else {
-		local, n, err := buildNode(*dir, *executors, *inflight, *reserved, *perModel, *materalize)
+		budget, err := parseSize(*ramBudget)
+		if err != nil {
+			log.Fatalf("bad -ram-budget: %v", err)
+		}
+		local, n, err := buildNode(nodeConfig{
+			dir:         *dir,
+			executors:   *executors,
+			inflight:    *inflight,
+			reserved:    *reserved,
+			perModel:    *perModel,
+			materialize: *materalize,
+			ramBudget:   budget,
+			pollEvery:   *repoPoll,
+			lazy:        *lazyLoad,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		feCfg.CompileOptions = &local.opts
 		eng = local.eng
 		descrip = fmt.Sprintf("node serving %d models", n)
+		if budget > 0 {
+			descrip += fmt.Sprintf(" under a %s RAM budget", *ramBudget)
+		}
 	}
 	if *chaosOn {
 		eng = chaos.New(eng, *chaosSeed)
@@ -161,73 +185,89 @@ func main() {
 
 // nodeParts bundles what node mode hands back to main.
 type nodeParts struct {
-	eng  *serving.Local
+	eng  *lifecycle.Manager
 	opts oven.Options
 }
 
-// buildNode loads the model repository into a fresh runtime and wraps
-// it as a local engine. A missing repository directory starts the node
-// empty (cluster nodes receive their models from the router).
-func buildNode(dir string, executors, inflight, reserved, perModel int, materialize bool) (*nodeParts, int, error) {
+// nodeConfig carries node mode's knobs into buildNode.
+type nodeConfig struct {
+	dir                                     string
+	executors, inflight, reserved, perModel int
+	materialize                             bool
+	ramBudget                               int64
+	pollEvery                               time.Duration
+	lazy                                    bool
+}
+
+// buildNode opens the on-disk model repository (created empty if
+// missing) behind a lifecycle manager over a fresh runtime: the
+// manager preloads models up to the RAM budget (unless -lazy-load),
+// cold-loads the rest on first request, and persists uploads so a
+// restart recovers the catalog from disk.
+func buildNode(nc nodeConfig) (*nodeParts, int, error) {
 	objStore := pretzel.NewObjectStore()
 	cfg := pretzel.RuntimeConfig{
-		Executors:            executors,
-		MaxInFlight:          inflight,
-		ReservedHighPriority: reserved,
-		MaxInFlightPerModel:  perModel,
+		Executors:            nc.executors,
+		MaxInFlight:          nc.inflight,
+		ReservedHighPriority: nc.reserved,
+		MaxInFlightPerModel:  nc.perModel,
 	}
-	if materialize {
+	if nc.materialize {
 		cfg.MatCacheBytes = 256 << 20
 	}
 	rt := pretzel.NewRuntime(objStore, cfg)
 
 	opts := oven.DefaultOptions()
-	opts.Materialization = materialize
+	opts.Materialization = nc.materialize
 
-	entries, err := os.ReadDir(dir)
+	mr, err := repo.Open(nc.dir)
 	if err != nil {
-		if !os.IsNotExist(err) {
-			return nil, 0, err
-		}
-		log.Printf("model repository %q missing, starting empty", dir)
-		entries = nil
+		rt.Close()
+		return nil, 0, err
 	}
-	// Share operator instances across model files by serialized-bytes
-	// checksum (§4.1.3): loading 250 similar pipelines deserializes each
-	// distinct dictionary once.
-	opCache := store.NewOpCache()
-	resolve := func(kind string, raw []byte) (ops.Op, error) {
-		return opCache.GetOrBuild(kind, store.HashRaw(raw), func() (ops.Op, error) {
-			return pipeline.DefaultResolver(kind, raw)
-		})
-	}
-	n := 0
 	t0 := time.Now()
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".zip") {
-			continue
-		}
-		raw, err := os.ReadFile(filepath.Join(dir, e.Name()))
-		if err != nil {
-			return nil, 0, err
-		}
-		p, err := pipeline.ImportBytesWith(raw, resolve)
-		if err != nil {
-			return nil, 0, fmt.Errorf("%s: %w", e.Name(), err)
-		}
-		pln, err := pretzel.Compile(p, objStore, opts)
-		if err != nil {
-			return nil, 0, fmt.Errorf("%s: %w", e.Name(), err)
-		}
-		if _, err := rt.Register(pln); err != nil {
-			return nil, 0, fmt.Errorf("%s: %w", e.Name(), err)
-		}
-		n++
+	mgr, err := lifecycle.New(serving.NewLocal(rt, &opts), mr, lifecycle.Config{
+		RAMBudget:    nc.ramBudget,
+		LazyLoad:     nc.lazy,
+		PollInterval: nc.pollEvery,
+		Compile:      &opts,
+	})
+	if err != nil {
+		rt.Close()
+		return nil, 0, err
 	}
+	ls := mgr.LStats()
+	n := ls.Warm + ls.Cold + ls.Loading
 	if n > 0 {
 		st := objStore.Stats()
-		fmt.Printf("registered %d plans in %v (object store: %d unique params, %d dedup hits)\n",
-			n, time.Since(t0).Round(time.Millisecond), st.Unique, st.Hits)
+		fmt.Printf("model repository %s: %d models (%d warm, %d cold) in %v (object store: %d unique params, %d dedup hits)\n",
+			nc.dir, n, ls.Warm, ls.Cold, time.Since(t0).Round(time.Millisecond), st.Unique, st.Hits)
 	}
-	return &nodeParts{eng: serving.NewLocal(rt, &opts), opts: opts}, n, nil
+	return &nodeParts{eng: mgr, opts: opts}, n, nil
+}
+
+// parseSize parses a byte size with an optional K/M/G suffix ("512M",
+// "2G", "65536").
+func parseSize(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	switch s[len(s)-1] {
+	case 'k', 'K':
+		mult, s = 1<<10, s[:len(s)-1]
+	case 'm', 'M':
+		mult, s = 1<<20, s[:len(s)-1]
+	case 'g', 'G':
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%q is not a size", s)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("size must be non-negative")
+	}
+	return n * mult, nil
 }

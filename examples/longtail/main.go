@@ -1,0 +1,203 @@
+// Longtail: the model storage tier end to end — a long tail of models
+// on disk, a RAM budget a tenth of their total footprint, and Zipf
+// traffic that keeps the hot head resident while the cold tail pays a
+// disk→RAM load on first touch.
+//
+//  1. publish 200 model variants into a versioned on-disk repository
+//     (<name>/<version>/model.zip, atomic publishes);
+//
+//  2. calibrate: open the repository with no budget and measure the
+//     full resident footprint;
+//
+//  3. reopen lazily under a 10% budget and serve Zipf-distributed
+//     traffic: every request succeeds (cold models load on demand,
+//     LRU victims are evicted back to disk), residency stays under
+//     the budget, and the cold-start histogram prices the misses;
+//
+//  4. pin one model: pinned models are exempt from eviction no matter
+//     how cold they go;
+//
+//  5. read the operator's view: per-model lifecycle state and the
+//     storage-tier counters a node reports on /statz.
+//
+//     go run ./examples/longtail/main.go
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pretzel"
+	"pretzel/internal/lifecycle"
+	"pretzel/internal/ml"
+	"pretzel/internal/ops"
+	"pretzel/internal/pipeline"
+	"pretzel/internal/schema"
+	"pretzel/internal/serving"
+	"pretzel/internal/text"
+	"pretzel/internal/workload"
+)
+
+const nModels = 200
+
+// buildZip exports one tiny sentiment variant. The dictionaries are
+// salted with the model name so each variant has its own parameters —
+// a long tail of unrelated models, not one model copied 200 times.
+func buildZip(name string) []byte {
+	cb, wb := text.NewDictBuilder(), text.NewDictBuilder()
+	for _, doc := range []string{"nice product great wonderful " + name, "bad refund awful broken " + name} {
+		toks := text.Tokenize(doc, nil)
+		for _, tok := range toks {
+			text.ObserveCharNgrams(cb, []byte(tok), 2, 3)
+		}
+		text.ObserveWordNgrams(wb, toks, 2, nil)
+	}
+	cd, wd := cb.Build(0), wb.Build(0)
+	weights := make([]float32, cd.Size()+wd.Size())
+	if ix := wd.Lookup("nice"); ix >= 0 {
+		weights[cd.Size()+int(ix)] = 3
+	}
+	p := &pipeline.Pipeline{
+		Name:        name,
+		InputSchema: schema.Text("Text"),
+		Nodes: []pipeline.Node{
+			{Op: &ops.Tokenizer{}, Inputs: []int{pipeline.InputID}},
+			{Op: &ops.CharNgram{MinN: 2, MaxN: 3, Dict: cd}, Inputs: []int{0}},
+			{Op: &ops.WordNgram{MaxN: 2, Dict: wd}, Inputs: []int{0}},
+			{Op: &ops.Concat{Dims: []int{cd.Size(), wd.Size()}}, Inputs: []int{1, 2}},
+			{Op: &ops.LinearPredictor{Model: &ml.LinearModel{Kind: ml.LogisticRegression, Weights: weights}}, Inputs: []int{3}},
+		},
+	}
+	zip, err := p.ExportBytes()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return zip
+}
+
+// open builds a lifecycle manager over the repository at dir — the
+// exact stack `pretzel-server -models dir -ram-budget ... -lazy-load`
+// serves through.
+func open(dir string, budget int64, lazy bool) *pretzel.LifecycleManager {
+	rt := pretzel.NewRuntime(pretzel.NewObjectStore(), pretzel.RuntimeConfig{Executors: 4})
+	r, err := pretzel.OpenModelRepo(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := pretzel.NewLifecycleManager(pretzel.NewLocalEngine(rt, nil), r, pretzel.LifecycleConfig{
+		RAMBudget: budget,
+		LazyLoad:  lazy,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return m
+}
+
+func main() {
+	// 1. Publish the long tail to disk. This is the durable catalog:
+	// everything below serves out of these files.
+	dir, err := os.MkdirTemp("", "pretzel-longtail-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	r, err := pretzel.OpenModelRepo(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	names := make([]string, nModels)
+	t0 := time.Now()
+	for i := range names {
+		names[i] = fmt.Sprintf("variant-%03d", i)
+		if _, err := r.Put(names[i], 0, buildZip(names[i])); err != nil {
+			log.Fatal(err)
+		}
+	}
+	entries, err := r.Scan()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var diskBytes int64
+	for _, e := range entries {
+		diskBytes += e.Bytes
+	}
+	fmt.Printf("published %d models (%d KB on disk) in %v\n",
+		len(entries), diskBytes/1024, time.Since(t0).Round(time.Millisecond))
+
+	// 2. Calibrate the full footprint: no budget, eager preload.
+	cal := open(dir, 0, false)
+	total := cal.ResidentBytes()
+	cal.Close()
+	fmt.Printf("full residency: %d KB across %d models\n\n", total/1024, nModels)
+
+	// 3. A tenth of that, lazily: the node starts cold and the budget
+	// decides who stays. Zipf(1.2) traffic concentrates on the head, so
+	// the working set fits while the tail cold-loads on demand.
+	budget := total / 10
+	m := open(dir, budget, true)
+	defer m.Close()
+	fmt.Printf("serving under a %d KB budget (10%%), Zipf(1.2) traffic...\n", budget/1024)
+
+	var ok, failed atomic.Uint64
+	stop := time.Now().Add(2 * time.Second)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			z := workload.NewZipfPicker(nModels, 1.2, int64(g+1))
+			for time.Now().Before(stop) {
+				_, err := m.Predict(context.Background(), names[z.Pick()],
+					"a nice product", serving.PredictOptions{})
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				ok.Add(1)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	ls := m.LStats()
+	fmt.Printf("  %d predictions ok, %d failed (cold is slow, never an error)\n", ok.Load(), failed.Load())
+	fmt.Printf("  cold loads: %d   evictions: %d   resident: %d/%d KB (%.0f%% of budget)\n",
+		ls.ColdLoads, ls.Evictions, ls.ResidentBytes/1024, budget/1024,
+		100*float64(ls.ResidentBytes)/float64(budget))
+	fmt.Printf("  cold-start p50/p99: %v / %v over %d loads\n\n",
+		time.Duration(ls.ColdStart.P50Nanos).Round(time.Microsecond),
+		time.Duration(ls.ColdStart.P99Nanos).Round(time.Microsecond),
+		ls.ColdStart.Count)
+
+	// 4. Pin the tail's coldest model: pinning loads it and exempts it
+	// from eviction — it stays warm through any amount of pressure.
+	pinned := names[nModels-1]
+	if err := m.Pin(pinned, true); err != nil {
+		log.Fatal(err)
+	}
+	mi, err := m.ModelInfo(pinned)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pinned %s: state=%s pinned=%v (exempt from eviction)\n", pinned, mi.State, mi.Pinned)
+
+	// 5. The operator's view — what GET /models and /statz report.
+	warm, cold := 0, 0
+	for _, mi := range m.Models() {
+		switch mi.State {
+		case lifecycle.StateWarm:
+			warm++
+		case lifecycle.StateCold:
+			cold++
+		}
+	}
+	fmt.Printf("catalog: %d warm / %d cold of %d on disk — RAM holds the working set,\n",
+		warm, cold, ls.RepoModels)
+	fmt.Printf("disk holds the catalog, and a restart recovers everything from %s\n", dir)
+}

@@ -234,6 +234,7 @@ func Experiments() []Experiment {
 		{"overload", "admission-controlled overload: open-loop goodput, shed rate, p99 across capacity", runOverload},
 		{"cluster", "sharded cluster tier: aggregate goodput + p99 vs node count at fixed per-node capacity", runClusterExp},
 		{"chaos", "fault containment: panic quarantine + hedged routing under injected faults", runChaosExp},
+		{"longtail", "model storage tier: goodput + cold-start latency vs RAM-budget fraction under Zipf traffic", runLongtail},
 	}
 }
 

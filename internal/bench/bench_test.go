@@ -20,8 +20,8 @@ var sharedEnv = func() *Env {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 20 {
-		t.Fatalf("expected 20 experiments, have %d", len(exps))
+	if len(exps) != 21 {
+		t.Fatalf("expected 21 experiments, have %d", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {

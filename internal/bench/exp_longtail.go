@@ -1,0 +1,205 @@
+package bench
+
+// Long-tail serving under a RAM budget (the model storage tier).
+// PRETZEL's premise is thousands of registered models of which only a
+// hot subset is in use at any moment; this experiment registers a long
+// tail of variants on disk, serves Zipf-distributed traffic through
+// the lifecycle manager at a sweep of RAM budgets, and reports the
+// price of not being resident: goodput, cold-load and eviction
+// counts, residency against the budget, and the cold-start latency
+// histogram next to the hot-path percentiles. Success rate must stay
+// 100% at every budget — cold requests are slower, never failed — and
+// residency must stay under the budget.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pretzel/internal/lifecycle"
+	"pretzel/internal/metrics"
+	"pretzel/internal/ml"
+	"pretzel/internal/ops"
+	"pretzel/internal/pipeline"
+	"pretzel/internal/repo"
+	"pretzel/internal/runtime"
+	"pretzel/internal/schema"
+	"pretzel/internal/serving"
+	"pretzel/internal/store"
+	"pretzel/internal/text"
+	"pretzel/internal/workload"
+)
+
+// longtailModel builds one tiny SA variant whose dictionaries are
+// salted with the model name: a tail of unrelated models, so each has
+// a real marginal footprint and eviction actually frees memory.
+func longtailModel(name string) (*pipeline.Pipeline, error) {
+	cb, wb := text.NewDictBuilder(), text.NewDictBuilder()
+	for _, doc := range []string{"nice product great wonderful " + name, "bad refund awful broken own" + name} {
+		toks := text.Tokenize(doc, nil)
+		for _, tok := range toks {
+			text.ObserveCharNgrams(cb, []byte(tok), 2, 3)
+		}
+		text.ObserveWordNgrams(wb, toks, 2, nil)
+	}
+	cd, wd := cb.Build(0), wb.Build(0)
+	weights := make([]float32, cd.Size()+wd.Size())
+	if ix := wd.Lookup("nice"); ix >= 0 {
+		weights[cd.Size()+int(ix)] = 3
+	}
+	return &pipeline.Pipeline{
+		Name:        name,
+		InputSchema: schema.Text("Text"),
+		Stats:       pipeline.Stats{MaxVectorSize: cd.Size() + wd.Size(), SparseOutput: true},
+		Nodes: []pipeline.Node{
+			{Op: &ops.Tokenizer{}, Inputs: []int{pipeline.InputID}},
+			{Op: &ops.CharNgram{MinN: 2, MaxN: 3, Dict: cd}, Inputs: []int{0}},
+			{Op: &ops.WordNgram{MaxN: 2, Dict: wd}, Inputs: []int{0}},
+			{Op: &ops.Concat{Dims: []int{cd.Size(), wd.Size()}}, Inputs: []int{1, 2}},
+			{Op: &ops.LinearPredictor{Model: &ml.LinearModel{Kind: ml.LogisticRegression, Weights: weights}}, Inputs: []int{3}},
+		},
+	}, nil
+}
+
+// newLongtailManager builds a lifecycle manager over a fresh runtime
+// and the given repository.
+func newLongtailManager(dir string, budget int64, executors int) (*lifecycle.Manager, error) {
+	rt := runtime.New(store.New(), runtime.Config{Executors: executors})
+	r, err := repo.Open(dir)
+	if err != nil {
+		rt.Close()
+		return nil, err
+	}
+	m, err := lifecycle.New(serving.NewLocal(rt, nil), r, lifecycle.Config{
+		RAMBudget: budget,
+		LazyLoad:  budget > 0, // budgeted runs start cold; unlimited preloads
+	})
+	if err != nil {
+		rt.Close()
+		return nil, err
+	}
+	return m, nil
+}
+
+// runLongtail sweeps RAM budget fractions over a long tail of models
+// under Zipf traffic.
+func runLongtail(w io.Writer, env *Env) error {
+	nModels, workers, window := 1000, 8, env.LoadWindow
+	if env.Quick {
+		nModels, workers = 60, 4
+	}
+
+	dir, err := os.MkdirTemp("", "pretzel-longtail-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	rp, err := repo.Open(dir)
+	if err != nil {
+		return err
+	}
+	names := make([]string, nModels)
+	t0 := time.Now()
+	for i := range names {
+		names[i] = fmt.Sprintf("lt-%04d", i)
+		p, err := longtailModel(names[i])
+		if err != nil {
+			return err
+		}
+		zip, err := p.ExportBytes()
+		if err != nil {
+			return err
+		}
+		if _, err := rp.Put(names[i], 0, zip); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(w, "published %d models to disk in %v\n", nModels, time.Since(t0).Round(time.Millisecond))
+
+	// Calibrate: full residency footprint with no budget.
+	cal, err := newLongtailManager(dir, 0, env.Cores[len(env.Cores)-1])
+	if err != nil {
+		return err
+	}
+	total := cal.ResidentBytes()
+	cal.Close()
+	fmt.Fprintf(w, "full residency = %s across %d models\n\n", mb(uint64(total)), nModels)
+
+	fmt.Fprintf(w, "%-8s %-10s %-8s %-6s %-7s %-7s %-10s %-26s %s\n",
+		"budget", "goodput", "ok", "fail", "cold", "evict", "resident", "cold-start p50/p95/p99", "e2e p50/p99")
+	for _, frac := range []float64{0.10, 0.25, 0.50, 1.0} {
+		budget := int64(float64(total) * frac)
+		m, err := newLongtailManager(dir, budget, env.Cores[len(env.Cores)-1])
+		if err != nil {
+			return err
+		}
+		var okC, failC atomic.Uint64
+		var overBudget atomic.Int64
+		lat := &metrics.Histogram{}
+		stop := time.Now().Add(window)
+		var wg sync.WaitGroup
+		for g := 0; g < workers; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				z := workload.NewZipfPicker(nModels, 1.3, int64(g+1))
+				for time.Now().Before(stop) {
+					name := names[z.Pick()]
+					r0 := time.Now()
+					_, err := m.Predict(context.Background(), name, "a nice product", serving.PredictOptions{})
+					if err != nil {
+						failC.Add(1)
+						continue
+					}
+					lat.Record(time.Since(r0))
+					okC.Add(1)
+					if got := m.ResidentBytes(); got > budget {
+						overBudget.Store(got)
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+
+		ls := m.LStats()
+		snap := lat.Snapshot()
+		okRate := 100.0
+		if n := okC.Load() + failC.Load(); n > 0 {
+			okRate = 100 * float64(okC.Load()) / float64(n)
+		}
+		fmt.Fprintf(w, "%-8s %-10s %-8s %-6d %-7d %-7d %-10s %-26s %v/%v\n",
+			fmt.Sprintf("%.0f%%", frac*100),
+			fmt.Sprintf("%.0f/s", float64(okC.Load())/window.Seconds()),
+			fmt.Sprintf("%.1f%%", okRate),
+			failC.Load(), ls.ColdLoads, ls.Evictions,
+			fmt.Sprintf("%.0f%%", 100*float64(ls.ResidentBytes)/float64(max64(budget, 1))),
+			fmt.Sprintf("%v/%v/%v",
+				time.Duration(ls.ColdStart.P50Nanos).Round(time.Microsecond),
+				time.Duration(ls.ColdStart.P95Nanos).Round(time.Microsecond),
+				time.Duration(ls.ColdStart.P99Nanos).Round(time.Microsecond)),
+			time.Duration(snap.P50Nanos).Round(time.Microsecond),
+			time.Duration(snap.P99Nanos).Round(time.Microsecond))
+
+		m.Close()
+		// The tier's two invariants, enforced, not just printed.
+		if failC.Load() > 0 {
+			return fmt.Errorf("longtail: %d requests failed at budget %.0f%% (success must stay 100%%)", failC.Load(), frac*100)
+		}
+		if v := overBudget.Load(); v > 0 {
+			return fmt.Errorf("longtail: resident bytes %d exceeded budget %d at %.0f%%", v, budget, frac*100)
+		}
+	}
+	fmt.Fprintln(w, "\ncold requests pay the disk→RAM load; none fail. Residency stays under every budget.")
+	return nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -387,6 +387,15 @@ func (c *Injector) Ready() error {
 	return c.inner.Ready()
 }
 
+// Pin forwards the lifecycle tier's pin capability through the
+// middleware (ErrUnsupported when no lifecycle manager is below).
+func (c *Injector) Pin(name string, pinned bool) error {
+	if p, ok := c.inner.(interface{ Pin(string, bool) error }); ok {
+		return p.Pin(name, pinned)
+	}
+	return fmt.Errorf("%w: no lifecycle manager attached", serving.ErrUnsupported)
+}
+
 // Quarantined forwards the wrapped engine's quarantine report (nil
 // when the engine has none), keeping /readyz truthful through the
 // middleware.

@@ -1,0 +1,35 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+
+	"pretzel/internal/serving"
+)
+
+// pinStub is a stubEngine that exposes the lifecycle pin capability.
+type pinStub struct {
+	stubEngine
+	pinned map[string]bool
+}
+
+func (p *pinStub) Pin(name string, pinned bool) error {
+	p.pinned[name] = pinned
+	return nil
+}
+
+// TestPinForwarding: the injector forwards Pin to an engine that has
+// it and answers ErrUnsupported (501) over one that does not, so the
+// management plane works identically with chaos stacked on top of the
+// lifecycle manager.
+func TestPinForwarding(t *testing.T) {
+	with := &pinStub{pinned: map[string]bool{}}
+	inj := New(with, 1)
+	if err := inj.Pin("sa", true); err != nil || !with.pinned["sa"] {
+		t.Fatalf("pin not forwarded: %v %v", err, with.pinned)
+	}
+	inj2 := New(&stubEngine{}, 1)
+	if err := inj2.Pin("sa", true); !errors.Is(err, serving.ErrUnsupported) {
+		t.Fatalf("pin without capability: %v, want ErrUnsupported", err)
+	}
+}

@@ -107,6 +107,7 @@ func New(eng serving.Engine, cfg Config) *Server {
 	s.mux.HandleFunc("GET /models/{name}", s.handleModelGet)
 	s.mux.HandleFunc("DELETE /models/{name}", s.handleModelDelete)
 	s.mux.HandleFunc("POST /models/{name}/labels", s.handleSetLabel)
+	s.mux.HandleFunc("POST /models/{name}/pin", s.handleModelPin)
 	s.mux.HandleFunc("GET /statz", s.handleStatz)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -203,6 +204,8 @@ func statusFor(err error) int {
 		return http.StatusServiceUnavailable
 	case errors.Is(err, runtime.ErrInvalidInput), errors.Is(err, serving.ErrBadModel):
 		return http.StatusBadRequest
+	case errors.Is(err, serving.ErrUnsupported):
+		return http.StatusNotImplemented
 	case errors.Is(err, runtime.ErrKernelPanic):
 		// A contained kernel panic: an internal error of this one
 		// request's model, not an overload or availability condition.

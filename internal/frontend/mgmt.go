@@ -177,6 +177,42 @@ func (s *Server) handleSetLabel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"name": name, "label": req.Label, "version": req.Version})
 }
 
+// PinRequest is the POST /models/{name}/pin body. An empty body pins.
+type PinRequest struct {
+	Pinned bool `json:"pinned"`
+}
+
+// pinner is the optional lifecycle capability: engines wrapping a
+// model storage tier (lifecycle.Manager, or middleware forwarding to
+// one) expose Pin; everything else answers 501.
+type pinner interface {
+	Pin(name string, pinned bool) error
+}
+
+// handleModelPin marks a model exempt from (or, with {"pinned":false},
+// subject to) the lifecycle tier's budget eviction. Pinning a cold
+// model loads it.
+func (s *Server) handleModelPin(w http.ResponseWriter, r *http.Request) {
+	p, ok := s.eng.(pinner)
+	if !ok {
+		writeErr(w, fmt.Errorf("%w: no lifecycle manager attached", serving.ErrUnsupported))
+		return
+	}
+	req := PinRequest{Pinned: true}
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request: " + err.Error()})
+			return
+		}
+	}
+	name, _ := runtime.SplitRef(r.PathValue("name"))
+	if err := p.Pin(name, req.Pinned); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"name": name, "pinned": req.Pinned})
+}
+
 // Statz is the GET /statz body: the server-wide white-box counters —
 // the engine's snapshot (catalog, pools, scheduler, admission,
 // per-model latency percentiles for a local engine; node health,

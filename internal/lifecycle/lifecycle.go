@@ -1,0 +1,1002 @@
+// Package lifecycle is the model storage tier: an Engine middleware
+// that keeps the full model catalog on disk (internal/repo) and only a
+// RAM-budgeted working set resident in the runtime. Models are
+// admitted under a configurable budget using the runtime's dedup-aware
+// footprint accounting, evicted back to disk LRU-first (pinned models
+// exempt), and cold-loaded lazily on the first predict that misses —
+// single-flight, so a thundering herd on a cold model pays for exactly
+// one load. Cold-start latency is tracked in its own histogram: the
+// PRETZEL paper's observation that most models are cold most of the
+// time makes the disk→RAM path a first-class serving metric, not an
+// operational footnote.
+//
+// The manager wraps a *serving.Local (it needs the runtime escape
+// hatch for footprint deltas and store-releasing unregistration) and
+// itself implements serving.Engine, so the chaos injector and the
+// HTTP front end stack on top unchanged.
+package lifecycle
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pretzel/internal/metrics"
+	"pretzel/internal/ops"
+	"pretzel/internal/oven"
+	"pretzel/internal/pipeline"
+	"pretzel/internal/repo"
+	"pretzel/internal/runtime"
+	"pretzel/internal/serving"
+)
+
+// Model lifecycle states, surfaced via ModelInfo.State and /statz.
+const (
+	StateWarm     = "warm"     // resident in the runtime, serving
+	StateCold     = "cold"     // on disk only; first predict loads it
+	StateLoading  = "loading"  // disk→RAM load in progress
+	StateEvicting = "evicting" // draining out of the runtime
+)
+
+// Config parameterizes a Manager.
+type Config struct {
+	// RAMBudget caps the summed marginal footprint of warm models in
+	// bytes (0 = unlimited: everything loads and nothing evicts). A
+	// single model larger than the whole budget still loads — requests
+	// are never failed for budget reasons — and pinned models are
+	// exempt, so either can push residency above the cap.
+	RAMBudget int64
+	// LazyLoad skips the startup preload: every model starts cold and
+	// is loaded by its first predict. The default (false) preloads
+	// repository models at construction until the budget is reached.
+	LazyLoad bool
+	// PollInterval, when > 0, rescans the repository for versions
+	// published behind the server's back (e.g. rsync'd by an offline
+	// trainer). 0 disables polling: no goroutine exists, and a quiet
+	// manager does zero background work.
+	PollInterval time.Duration
+	// Compile configures compilation of loaded models (nil =
+	// oven.DefaultOptions).
+	Compile *oven.Options
+}
+
+// managed is one model's lifecycle record. The bare name is the unit
+// of residency: loading brings all published versions of the name in,
+// evicting removes them all (per-version unregistration is an explicit
+// management action, not a budget decision).
+type managed struct {
+	name  string
+	state string
+	// pinned exempts the model from budget eviction.
+	pinned bool
+	// bytes is the measured marginal footprint while warm (runtime
+	// MemBytes delta at load); est the import-time upper bound used
+	// for admission while the model is still cold.
+	bytes int64
+	est   int64
+	// versions/labels mirror the on-disk repository view, so Resolve
+	// and Models answer for cold models without touching disk.
+	versions []int
+	labels   map[string]int
+	// lastAccess is the LRU clock (monotonic counter, not wall time:
+	// Predict only does an atomic add on the hot path).
+	lastAccess atomic.Int64
+	// inflight counts predicts dispatched against this model. It is
+	// incremented under mu (read lock suffices) and checked by the
+	// evictor under the write lock, so a model with live requests is
+	// never chosen as an eviction victim: the warm-check→dispatch
+	// window cannot race an eviction.
+	inflight atomic.Int64
+}
+
+// Manager is the lifecycle middleware. See the package comment.
+type Manager struct {
+	inner *serving.Local
+	rt    *runtime.Runtime
+	repo  *repo.Repo
+	cfg   Config
+	comp  oven.Options
+
+	// mu guards entries and every managed's mutable fields. The
+	// predict fast path takes only the read lock.
+	mu      sync.RWMutex
+	entries map[string]*managed
+
+	// loadMu serializes every slow-path mutation (load, evict,
+	// register, unregister): runtime footprint deltas are only exact
+	// when one mutation runs at a time, and holding it across a load
+	// is what makes cold loads single-flight. Lock order is strictly
+	// loadMu → mu; mu is never held across a runtime call that drains.
+	loadMu sync.Mutex
+
+	clock     atomic.Int64 // LRU tick source
+	resident  atomic.Int64 // summed warm marginal footprint
+	coldLoads atomic.Uint64
+	evictions atomic.Uint64
+	loadErrs  atomic.Uint64
+	coldStart metrics.Histogram
+
+	poller *repo.Poller
+}
+
+// New builds a Manager over a local engine and an opened repository,
+// scans the repository into the managed set, and (unless cfg.LazyLoad)
+// preloads models in name order until the budget is reached.
+func New(inner *serving.Local, r *repo.Repo, cfg Config) (*Manager, error) {
+	co := oven.DefaultOptions()
+	if cfg.Compile != nil {
+		co = *cfg.Compile
+	}
+	m := &Manager{
+		inner:   inner,
+		rt:      inner.Runtime(),
+		repo:    r,
+		cfg:     cfg,
+		comp:    co,
+		entries: make(map[string]*managed),
+	}
+	entries, err := r.Scan()
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		m.noteVersion(e.Name, e.Version, e.Bytes)
+	}
+	if !cfg.LazyLoad {
+		m.loadMu.Lock()
+		for _, e := range m.sortedEntries() {
+			if e.state != StateCold {
+				continue
+			}
+			// Preload never evicts: fill until the budget is hit and
+			// leave the tail cold for lazy loading.
+			if err := m.loadLocked(e, false); err != nil && !errors.Is(err, errBudget) {
+				m.loadMu.Unlock()
+				return nil, fmt.Errorf("lifecycle: preloading %q: %w", e.name, err)
+			}
+		}
+		m.loadMu.Unlock()
+	}
+	if cfg.PollInterval > 0 {
+		m.poller = r.Poll(cfg.PollInterval, m.onDiscovered)
+	}
+	return m, nil
+}
+
+// noteVersion records a disk version on the managed set, creating a
+// cold entry for a new name. bytes is the version's on-disk size; it
+// seeds the cold footprint estimate until a real load measures one.
+// Caller must NOT hold mu.
+func (m *Manager) noteVersion(name string, version int, bytes int64) *managed {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.entries[name]
+	if e == nil {
+		e = &managed{name: name, state: StateCold}
+		m.entries[name] = e
+	}
+	for _, v := range e.versions {
+		if v == version {
+			return e
+		}
+	}
+	e.versions = append(e.versions, version)
+	sort.Ints(e.versions)
+	e.est += bytes
+	return e
+}
+
+func (m *Manager) sortedEntries() []*managed {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]*managed, 0, len(m.entries))
+	for _, e := range m.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+func (m *Manager) lookup(name string) *managed {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.entries[name]
+}
+
+func (m *Manager) setState(e *managed, s string) {
+	m.mu.Lock()
+	e.state = s
+	m.mu.Unlock()
+}
+
+func (m *Manager) touch(e *managed) { e.lastAccess.Store(m.clock.Add(1)) }
+
+// estimateBytes upper-bounds a pipeline's runtime footprint before
+// compilation: parameter bytes plus the runtime's per-version and
+// per-stage overheads. It ignores cross-model dedup (stages can only
+// shrink under fusion, parameters under interning), so admission using
+// it never under-counts.
+func estimateBytes(p *pipeline.Pipeline) int64 {
+	n := int64(256)
+	for _, node := range p.Nodes {
+		n += 128 + int64(ops.MemBytes(node.Op))
+	}
+	return n
+}
+
+// errBudget reports a preload skipped because the model does not fit
+// without evicting (never surfaced to callers).
+var errBudget = errors.New("lifecycle: over budget")
+
+// loadLocked loads every published version of e into the runtime.
+// Caller holds loadMu; e.state must be cold. When allowEvict is set,
+// LRU victims are evicted until the estimate fits (a model larger than
+// the whole budget still loads — availability beats the cap); when
+// clear, a model that does not fit is skipped with errBudget.
+func (m *Manager) loadLocked(e *managed, allowEvict bool) error {
+	start := time.Now()
+	m.setState(e, StateLoading)
+	err := m.doLoad(e, allowEvict)
+	if err != nil {
+		m.setState(e, StateCold)
+		if !errors.Is(err, errBudget) {
+			m.loadErrs.Add(1)
+		}
+		return err
+	}
+	m.setState(e, StateWarm)
+	m.touch(e)
+	m.coldLoads.Add(1)
+	m.coldStart.Record(time.Since(start))
+	return nil
+}
+
+func (m *Manager) doLoad(e *managed, allowEvict bool) error {
+	vs, err := m.repo.Versions(e.name)
+	if err != nil {
+		return err
+	}
+	if len(vs) == 0 {
+		return fmt.Errorf("%w: %q has no published versions", runtime.ErrModelNotFound, e.name)
+	}
+	type imported struct {
+		version int
+		pipe    *pipeline.Pipeline
+	}
+	imps := make([]imported, 0, len(vs))
+	var est int64
+	for _, v := range vs {
+		raw, err := m.repo.Read(v.Name, v.Version)
+		if err != nil {
+			return err
+		}
+		p, err := pipeline.ImportBytes(raw)
+		if err != nil {
+			return fmt.Errorf("%w: %s@%d: %v", serving.ErrBadModel, v.Name, v.Version, err)
+		}
+		imps = append(imps, imported{v.Version, p})
+		est += estimateBytes(p)
+	}
+	if !m.makeRoom(est, e, allowEvict) {
+		return errBudget
+	}
+
+	before := m.rt.MemBytes()
+	var done []int
+	for _, im := range imps {
+		pl, err := oven.Compile(im.pipe, m.rt.ObjectStore(), m.comp)
+		if err == nil {
+			_, err = m.rt.RegisterVersion(pl, e.name, im.version)
+		}
+		if err != nil {
+			for _, v := range done {
+				_ = m.rt.UnregisterRelease(fmt.Sprintf("%s@%d", e.name, v))
+			}
+			return fmt.Errorf("%w: %s@%d: %v", serving.ErrBadModel, e.name, im.version, err)
+		}
+		done = append(done, im.version)
+	}
+	labels, err := m.repo.Labels(e.name)
+	if err != nil {
+		labels = nil
+	}
+	for label, v := range labels {
+		// A persisted label can point at a since-deleted version;
+		// serving the model beats refusing the load.
+		_ = m.inner.SetLabel(e.name, label, v)
+	}
+	delta := int64(m.rt.MemBytes() - before)
+
+	m.mu.Lock()
+	e.bytes = delta
+	e.est = est
+	e.versions = e.versions[:0]
+	for _, v := range vs {
+		e.versions = append(e.versions, v.Version)
+	}
+	e.labels = labels
+	m.mu.Unlock()
+	m.resident.Add(delta)
+	return nil
+}
+
+// makeRoom evicts LRU victims until need bytes fit under the budget.
+// Caller holds loadMu. Returns whether need now fits (always true when
+// allowEvict and the budget is simply too small: the caller loads
+// anyway rather than failing requests).
+func (m *Manager) makeRoom(need int64, exclude *managed, allowEvict bool) bool {
+	if m.cfg.RAMBudget <= 0 {
+		return true
+	}
+	for m.resident.Load()+need > m.cfg.RAMBudget {
+		if !allowEvict {
+			return false
+		}
+		if !m.evictOne(exclude) {
+			// Nothing evictable left; load anyway.
+			return true
+		}
+	}
+	return true
+}
+
+// evictOne evicts the least-recently-used warm, unpinned model (never
+// exclude). Caller holds loadMu. The entry is marked evicting under mu
+// but mu is RELEASED across the runtime drain, so in-flight predicts
+// on the victim finish normally.
+func (m *Manager) evictOne(exclude *managed) bool {
+	m.mu.Lock()
+	var victim *managed
+	for _, e := range m.entries {
+		if e.state != StateWarm || e.pinned || e == exclude || e.inflight.Load() != 0 {
+			continue
+		}
+		if victim == nil || e.lastAccess.Load() < victim.lastAccess.Load() {
+			victim = e
+		}
+	}
+	if victim == nil {
+		m.mu.Unlock()
+		return false
+	}
+	victim.state = StateEvicting
+	m.mu.Unlock()
+
+	err := m.rt.UnregisterRelease(victim.name)
+	m.mu.Lock()
+	if err != nil {
+		victim.state = StateWarm
+	} else {
+		victim.state = StateCold
+		m.resident.Add(-victim.bytes)
+		victim.bytes = 0
+		m.evictions.Add(1)
+	}
+	m.mu.Unlock()
+	return err == nil
+}
+
+// releaseLease returns a predict's in-flight lease and re-asserts the
+// budget: a burst of concurrent requests can hold more than a budget's
+// worth of models in RAM at once (in-flight models are never evicted —
+// availability wins over the cap), and with no further cold load there
+// would be nothing to shrink residency back. The overshoot check is one
+// atomic load; the trim itself runs only when over budget and only in
+// whichever request happens to win the TryLock — a held loadMu means a
+// load or evict is already running and will enforce the budget itself.
+func (m *Manager) releaseLease(e *managed) {
+	e.inflight.Add(-1)
+	if m.cfg.RAMBudget <= 0 || m.resident.Load() <= m.cfg.RAMBudget {
+		return
+	}
+	if !m.loadMu.TryLock() {
+		return
+	}
+	defer m.loadMu.Unlock()
+	for m.resident.Load() > m.cfg.RAMBudget {
+		// The just-served model is excluded: it is the MRU, and evicting
+		// it here would make an over-budget model thrash on every single
+		// request. If it alone overshoots, the overshoot stands — the
+		// same availability-over-cap rule makeRoom applies.
+		if !m.evictOne(e) {
+			return // everything left is pinned, busy or e itself
+		}
+	}
+}
+
+// ensureWarm makes sure name is resident, loading it if cold, and
+// takes an in-flight lease on the entry (caller MUST release it with
+// e.inflight.Add(-1) after dispatch). A (nil, nil) return means the
+// name is not repository-managed — the inner engine may still know it,
+// e.g. models registered directly on the runtime.
+func (m *Manager) ensureWarm(name string) (*managed, error) {
+	e := m.lookup(name)
+	if e == nil {
+		return nil, nil
+	}
+	// Fast path: the warm check and the lease are taken under the same
+	// read-lock section the evictor's victim scan excludes, so a model
+	// observed warm here cannot be evicted before the lease lands.
+	m.mu.RLock()
+	if e.state == StateWarm {
+		e.inflight.Add(1)
+		m.mu.RUnlock()
+		m.touch(e)
+		return e, nil
+	}
+	m.mu.RUnlock()
+	// Slow path. loadMu is the single-flight gate: a herd of cold
+	// predicts queues here, the first loads, the rest observe warm.
+	// Holding it also excludes eviction, so the lease is race-free.
+	m.loadMu.Lock()
+	defer m.loadMu.Unlock()
+	m.mu.RLock()
+	warm := e.state == StateWarm
+	m.mu.RUnlock()
+	if !warm {
+		if err := m.loadLocked(e, true); err != nil {
+			return nil, err
+		}
+	}
+	e.inflight.Add(1)
+	m.touch(e)
+	return e, nil
+}
+
+// retriable reports a predict failure worth one reload attempt: the
+// model vanished between the warm check and dispatch (evict race).
+func (m *Manager) retriable(ctx context.Context, name string, err error, attempt int) bool {
+	return err != nil && errors.Is(err, runtime.ErrModelNotFound) &&
+		attempt < 8 && ctx.Err() == nil && m.lookup(name) != nil
+}
+
+// Predict serves one input, cold-loading the model on a miss.
+func (m *Manager) Predict(ctx context.Context, model, input string, opts serving.PredictOptions) ([]float32, error) {
+	name, _ := runtime.SplitRef(model)
+	for attempt := 0; ; attempt++ {
+		e, err := m.ensureWarm(name)
+		if err != nil {
+			return nil, err
+		}
+		out, err := m.inner.Predict(ctx, model, input, opts)
+		if e != nil {
+			m.releaseLease(e)
+		}
+		if m.retriable(ctx, name, err, attempt) {
+			continue
+		}
+		return out, err
+	}
+}
+
+// PredictBatch serves a batch, cold-loading the model on a miss.
+func (m *Manager) PredictBatch(ctx context.Context, model string, inputs []string, opts serving.PredictOptions) ([][]float32, error) {
+	name, _ := runtime.SplitRef(model)
+	for attempt := 0; ; attempt++ {
+		e, err := m.ensureWarm(name)
+		if err != nil {
+			return nil, err
+		}
+		out, err := m.inner.PredictBatch(ctx, model, inputs, opts)
+		if e != nil {
+			m.releaseLease(e)
+		}
+		if m.retriable(ctx, name, err, attempt) {
+			continue
+		}
+		return out, err
+	}
+}
+
+// Resolve resolves a reference WITHOUT loading: cold models answer
+// from the persisted label map (the front end resolves every cached
+// request, so this must stay cheap and side-effect free).
+func (m *Manager) Resolve(ref string) (string, int, error) {
+	name, version, err := m.inner.Resolve(ref)
+	if err == nil || !errors.Is(err, runtime.ErrModelNotFound) {
+		return name, version, err
+	}
+	bare, part := runtime.SplitRef(ref)
+	e := m.lookup(bare)
+	if e == nil {
+		return "", 0, err
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	v, cerr := coldResolve(e, part)
+	if cerr != nil {
+		return "", 0, cerr
+	}
+	return bare, v, nil
+}
+
+// coldResolve resolves a version part against a cold entry's disk
+// view. Caller holds mu (read suffices).
+func coldResolve(e *managed, part string) (int, error) {
+	if len(e.versions) == 0 {
+		return 0, fmt.Errorf("%w: %q has no published versions", runtime.ErrModelNotFound, e.name)
+	}
+	switch {
+	case part == "":
+		// Mirror the runtime's bare-name rule: the stable label when
+		// set; otherwise a load would hand stable to the lowest
+		// version, so that is what a bare reference will hit.
+		if v, ok := e.labels[runtime.LabelStable]; ok {
+			return v, nil
+		}
+		return e.versions[0], nil
+	case isNumeric(part):
+		n := 0
+		for _, c := range part {
+			n = n*10 + int(c-'0')
+		}
+		for _, v := range e.versions {
+			if v == n {
+				return v, nil
+			}
+		}
+		return 0, fmt.Errorf("%w: %s@%s", runtime.ErrModelNotFound, e.name, part)
+	default:
+		if v, ok := e.labels[part]; ok {
+			return v, nil
+		}
+		return 0, fmt.Errorf("%w: %s@%s (no such label)", runtime.ErrModelNotFound, e.name, part)
+	}
+}
+
+func isNumeric(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// annotate stamps the lifecycle fields onto a warm model's info.
+func (m *Manager) annotate(mi *runtime.ModelInfo) {
+	e := m.entries[mi.Name]
+	if e == nil {
+		return
+	}
+	mi.State = e.state
+	mi.MemBytes = int(e.bytes)
+	mi.Pinned = e.pinned
+}
+
+// coldInfo synthesizes the white-box view of a model that is on disk
+// but not resident. Caller holds mu (read suffices).
+func coldInfo(e *managed) runtime.ModelInfo {
+	mi := runtime.ModelInfo{
+		Name:     e.name,
+		Labels:   make(map[string]int, len(e.labels)),
+		State:    e.state,
+		MemBytes: int(e.est),
+		Pinned:   e.pinned,
+	}
+	for l, v := range e.labels {
+		mi.Labels[l] = v
+	}
+	for _, v := range e.versions {
+		mi.Versions = append(mi.Versions, runtime.VersionInfo{Version: v})
+	}
+	return mi
+}
+
+// Models lists every model — resident ones with runtime detail plus
+// lifecycle state, cold ones synthesized from the disk view — sorted
+// by name.
+func (m *Manager) Models() []runtime.ModelInfo {
+	infos := m.inner.Models()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	seen := make(map[string]bool, len(infos))
+	for i := range infos {
+		m.annotate(&infos[i])
+		seen[infos[i].Name] = true
+	}
+	for _, e := range m.entries {
+		if !seen[e.name] && e.state != StateWarm {
+			infos = append(infos, coldInfo(e))
+		}
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
+}
+
+// ModelInfo returns one model's white-box view by bare name, whether
+// resident or cold.
+func (m *Manager) ModelInfo(name string) (runtime.ModelInfo, error) {
+	mi, err := m.inner.ModelInfo(name)
+	if err == nil {
+		m.mu.RLock()
+		m.annotate(&mi)
+		m.mu.RUnlock()
+		return mi, nil
+	}
+	if !errors.Is(err, runtime.ErrModelNotFound) {
+		return runtime.ModelInfo{}, err
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if e := m.entries[name]; e != nil {
+		return coldInfo(e), nil
+	}
+	return runtime.ModelInfo{}, err
+}
+
+// Register validates an upload, persists it to the repository FIRST
+// (durability: a crash after Put recovers the model on restart), then
+// makes it resident — the whole model when it was cold, just the new
+// version when already warm.
+func (m *Manager) Register(zip []byte, opts serving.RegisterOptions) (serving.RegisterResult, error) {
+	p, err := pipeline.ImportBytes(zip)
+	if err != nil {
+		return serving.RegisterResult{}, fmt.Errorf("%w: importing: %v", serving.ErrBadModel, err)
+	}
+	name := opts.Name
+	if name == "" {
+		name, _ = runtime.SplitRef(p.Name)
+	}
+
+	m.loadMu.Lock()
+	defer m.loadMu.Unlock()
+
+	ent, err := m.repo.Put(name, opts.Version, zip)
+	if err != nil {
+		return serving.RegisterResult{}, err
+	}
+	e := m.noteVersion(name, ent.Version, ent.Bytes)
+
+	m.mu.RLock()
+	warm := e.state == StateWarm
+	m.mu.RUnlock()
+	if warm {
+		// Register just the new version next to the resident ones.
+		est := estimateBytes(p)
+		m.makeRoom(est, e, true)
+		before := m.rt.MemBytes()
+		pl, err := oven.Compile(p, m.rt.ObjectStore(), m.comp)
+		if err != nil {
+			return serving.RegisterResult{}, fmt.Errorf("%w: compiling: %v", serving.ErrBadModel, err)
+		}
+		if _, err := m.rt.RegisterVersion(pl, name, ent.Version); err != nil {
+			return serving.RegisterResult{}, err
+		}
+		delta := int64(m.rt.MemBytes() - before)
+		m.mu.Lock()
+		e.bytes += delta
+		m.mu.Unlock()
+		m.resident.Add(delta)
+	} else if err := m.loadLocked(e, true); err != nil {
+		return serving.RegisterResult{}, err
+	}
+	m.touch(e)
+
+	if opts.Label != "" {
+		if err := m.setLabelLocked(e, opts.Label, ent.Version); err != nil {
+			return serving.RegisterResult{}, err
+		}
+	}
+	res := serving.RegisterResult{Name: name, Version: ent.Version}
+	if mi, err := m.inner.ModelInfo(name); err == nil {
+		for _, v := range mi.Versions {
+			if v.Version == ent.Version {
+				res.ID = v.ID
+			}
+		}
+	}
+	return res, nil
+}
+
+// setLabelLocked applies a label to the runtime (when warm) and
+// persists it to the repository. Caller holds loadMu.
+func (m *Manager) setLabelLocked(e *managed, label string, version int) error {
+	m.mu.RLock()
+	warm := e.state == StateWarm
+	m.mu.RUnlock()
+	if warm {
+		if err := m.inner.SetLabel(e.name, label, version); err != nil {
+			return err
+		}
+	} else {
+		found := false
+		m.mu.RLock()
+		for _, v := range e.versions {
+			found = found || v == version
+		}
+		m.mu.RUnlock()
+		if !found {
+			return fmt.Errorf("%w: %s@%d", runtime.ErrModelNotFound, e.name, version)
+		}
+	}
+	labels, err := m.repo.Labels(e.name)
+	if err != nil {
+		return err
+	}
+	if labels == nil {
+		labels = make(map[string]int)
+	}
+	labels[label] = version
+	if err := m.repo.PutLabels(e.name, labels); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	e.labels = labels
+	m.mu.Unlock()
+	return nil
+}
+
+// SetLabel points a label at a version, persisting through the
+// repository; a cold model's label is applied on its next load.
+func (m *Manager) SetLabel(name, label string, version int) error {
+	m.loadMu.Lock()
+	defer m.loadMu.Unlock()
+	e := m.lookup(name)
+	if e == nil {
+		// Not repository-managed: fall through to the inner engine.
+		return m.inner.SetLabel(name, label, version)
+	}
+	return m.setLabelLocked(e, label, version)
+}
+
+// Unregister removes a reference from the runtime AND the repository:
+// a bare name deletes the whole model, name@version one version (with
+// any labels pointing at it).
+func (m *Manager) Unregister(ref string) error {
+	m.loadMu.Lock()
+	defer m.loadMu.Unlock()
+
+	name, part := runtime.SplitRef(ref)
+	e := m.lookup(name)
+	if e == nil {
+		return m.inner.Unregister(ref)
+	}
+	m.mu.RLock()
+	warm := e.state == StateWarm
+	m.mu.RUnlock()
+
+	if part == "" {
+		if warm {
+			if err := m.unregisterRelease(e, name); err != nil {
+				return err
+			}
+		}
+		if err := m.repo.Delete(name, 0); err != nil {
+			return err
+		}
+		m.mu.Lock()
+		delete(m.entries, name)
+		m.mu.Unlock()
+		return nil
+	}
+
+	version := 0
+	if isNumeric(part) {
+		m.mu.RLock()
+		v, err := coldResolve(e, part)
+		m.mu.RUnlock()
+		if err != nil {
+			return err
+		}
+		version = v
+	} else if warm {
+		_, v, err := m.inner.Resolve(ref)
+		if err != nil {
+			return err
+		}
+		version = v
+	} else {
+		m.mu.RLock()
+		v, err := coldResolve(e, part)
+		m.mu.RUnlock()
+		if err != nil {
+			return err
+		}
+		version = v
+	}
+
+	if warm {
+		if err := m.unregisterRelease(e, fmt.Sprintf("%s@%d", name, version)); err != nil {
+			return err
+		}
+	}
+	if err := m.repo.Delete(name, version); err != nil {
+		return err
+	}
+	// Drop the version (and labels pointing at it) from the disk view.
+	labels, _ := m.repo.Labels(name)
+	changed := false
+	for l, v := range labels {
+		if v == version {
+			delete(labels, l)
+			changed = true
+		}
+	}
+	if changed {
+		_ = m.repo.PutLabels(name, labels)
+	}
+	m.mu.Lock()
+	kept := e.versions[:0]
+	for _, v := range e.versions {
+		if v != version {
+			kept = append(kept, v)
+		}
+	}
+	e.versions = kept
+	e.labels = labels
+	empty := len(e.versions) == 0
+	if empty {
+		delete(m.entries, name)
+	}
+	m.mu.Unlock()
+	return nil
+}
+
+// unregisterRelease drops ref from the runtime with store release and
+// exact residency accounting. Caller holds loadMu.
+func (m *Manager) unregisterRelease(e *managed, ref string) error {
+	before := m.rt.MemBytes()
+	if err := m.rt.UnregisterRelease(ref); err != nil {
+		return err
+	}
+	delta := int64(before - m.rt.MemBytes())
+	m.mu.Lock()
+	e.bytes -= delta
+	if e.bytes < 0 {
+		e.bytes = 0
+	}
+	stillWarm := false
+	if _, err := m.rt.ModelInfo(e.name); err == nil {
+		stillWarm = true
+	}
+	if !stillWarm {
+		e.state = StateCold
+		e.bytes = 0
+	}
+	m.mu.Unlock()
+	m.resident.Add(-delta)
+	return nil
+}
+
+// Pin marks a model exempt from (pinned=true) or subject to
+// (pinned=false) budget eviction; pinning a cold model loads it.
+func (m *Manager) Pin(name string, pinned bool) error {
+	m.loadMu.Lock()
+	defer m.loadMu.Unlock()
+	e := m.lookup(name)
+	if e == nil {
+		return fmt.Errorf("%w: %q is not repository-managed", runtime.ErrModelNotFound, name)
+	}
+	if pinned {
+		m.mu.RLock()
+		cold := e.state == StateCold
+		m.mu.RUnlock()
+		if cold {
+			if err := m.loadLocked(e, true); err != nil {
+				return err
+			}
+		}
+	}
+	m.mu.Lock()
+	e.pinned = pinned
+	m.mu.Unlock()
+	return nil
+}
+
+// onDiscovered is the poll callback: versions published behind the
+// server's back become cold entries (or, for already-warm models, are
+// registered eagerly so traffic picks them up).
+func (m *Manager) onDiscovered(added []repo.Entry) {
+	for _, ent := range added {
+		e := m.noteVersion(ent.Name, ent.Version, ent.Bytes)
+		m.mu.RLock()
+		warm := e.state == StateWarm
+		m.mu.RUnlock()
+		if !warm {
+			continue
+		}
+		// Hot model, new version: bring the catalog up to date now
+		// rather than waiting for an eviction cycle.
+		m.loadMu.Lock()
+		raw, err := m.repo.Read(ent.Name, ent.Version)
+		var p *pipeline.Pipeline
+		if err == nil {
+			p, err = pipeline.ImportBytes(raw)
+		}
+		if err == nil {
+			m.makeRoom(estimateBytes(p), e, true)
+			before := m.rt.MemBytes()
+			pl, cerr := oven.Compile(p, m.rt.ObjectStore(), m.comp)
+			err = cerr
+			if err == nil {
+				_, err = m.rt.RegisterVersion(pl, ent.Name, ent.Version)
+			}
+			if err == nil {
+				delta := int64(m.rt.MemBytes() - before)
+				m.mu.Lock()
+				e.bytes += delta
+				m.mu.Unlock()
+				m.resident.Add(delta)
+			}
+		}
+		if err != nil {
+			m.loadErrs.Add(1)
+		}
+		m.loadMu.Unlock()
+	}
+}
+
+// SetKernelFault forwards the chaos hook to the wrapped engine.
+func (m *Manager) SetKernelFault(fn func(model string) error) { m.inner.SetKernelFault(fn) }
+
+// Quarantined forwards the quarantine list from the wrapped engine.
+func (m *Manager) Quarantined() []string { return m.inner.Quarantined() }
+
+// LStats snapshots the lifecycle tier's white-box counters.
+func (m *Manager) LStats() serving.LifecycleStats {
+	ls := serving.LifecycleStats{
+		ResidentBytes: m.resident.Load(),
+		BudgetBytes:   m.cfg.RAMBudget,
+		Lazy:          m.cfg.LazyLoad,
+		ColdLoads:     m.coldLoads.Load(),
+		Evictions:     m.evictions.Load(),
+		LoadErrs:      m.loadErrs.Load(),
+		ColdStart:     m.coldStart.Snapshot(),
+		RepoRoot:      m.repo.Root(),
+	}
+	m.mu.RLock()
+	for _, e := range m.entries {
+		switch e.state {
+		case StateWarm, StateEvicting:
+			ls.Warm++
+		case StateCold:
+			ls.Cold++
+		case StateLoading:
+			ls.Loading++
+		}
+		if e.pinned {
+			ls.Pinned++
+		}
+	}
+	m.mu.RUnlock()
+	if entries, err := m.repo.Scan(); err == nil {
+		names := make(map[string]bool)
+		for _, ent := range entries {
+			names[ent.Name] = true
+			ls.RepoVersions++
+			ls.RepoBytes += ent.Bytes
+		}
+		ls.RepoModels = len(names)
+	}
+	return ls
+}
+
+// Stats snapshots the wrapped engine and attaches the lifecycle view.
+func (m *Manager) Stats() serving.Stats {
+	s := m.inner.Stats()
+	ls := m.LStats()
+	s.Lifecycle = &ls
+	return s
+}
+
+// ResidentBytes returns the summed marginal footprint of warm models.
+func (m *Manager) ResidentBytes() int64 { return m.resident.Load() }
+
+// Ready forwards readiness to the wrapped engine.
+func (m *Manager) Ready() error { return m.inner.Ready() }
+
+// Close stops the poller (if any) and the wrapped engine.
+func (m *Manager) Close() error {
+	if m.poller != nil {
+		m.poller.Stop()
+	}
+	return m.inner.Close()
+}

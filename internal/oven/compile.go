@@ -43,11 +43,15 @@ func Compile(p *pipeline.Pipeline, objStore *store.ObjectStore, opts Options) (*
 
 	// Object Store interning: new parameters are kept, already-present
 	// ones are dropped in favour of the canonical instance (§4.1.3).
+	// The canonical instances are remembered for the plan so an eviction
+	// can release exactly what was interned.
+	var interned []ops.Param
 	if objStore != nil {
 		for i, n := range p.Nodes {
 			if err := objStore.InternOp(n.Op); err != nil {
 				return nil, fmt.Errorf("oven: interning node %d: %w", i, err)
 			}
+			interned = append(interned, n.Op.Params()...)
 		}
 	}
 
@@ -70,7 +74,12 @@ func Compile(p *pipeline.Pipeline, objStore *store.ObjectStore, opts Options) (*
 
 	// Model Plan Compiler: map logical stages to physical kernels and
 	// assemble the plan.
-	return assemble(p, g, opts)
+	pl, err := assemble(p, g, opts)
+	if err != nil {
+		return nil, err
+	}
+	pl.Interned = interned
+	return pl, nil
 }
 
 // --- Step 4: OutputGraphValidatorStep (6 rules) ---

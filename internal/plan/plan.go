@@ -282,6 +282,13 @@ type Plan struct {
 	MaxVecSize int
 	// InputIsText records the expected input kind for the FrontEnd.
 	InputIsText bool
+	// Interned lists the canonical parameter instances this plan
+	// interned into the Object Store at compile time (one entry per
+	// intern call, duplicates included). The lifecycle tier releases
+	// exactly this list when the plan is evicted — the stage ops alone
+	// under-count, since the optimizer rewrites some parameterized
+	// operators into specialized kernels.
+	Interned []ops.Param
 
 	capsOnce  sync.Once
 	interCaps []int

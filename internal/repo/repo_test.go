@@ -1,0 +1,218 @@
+package repo
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func openTemp(t *testing.T) *Repo {
+	t.Helper()
+	r, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestPutScanRead(t *testing.T) {
+	r := openTemp(t)
+	e, err := r.Put("sa", 0, []byte("zip-v1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Name != "sa" || e.Version != 1 || e.Bytes != 6 {
+		t.Fatalf("entry %+v", e)
+	}
+	if e2, err := r.Put("sa", 0, []byte("zip-v2")); err != nil || e2.Version != 2 {
+		t.Fatalf("next free version: %+v %v", e2, err)
+	}
+	if _, err := r.Put("sa", 2, []byte("x")); err == nil {
+		t.Fatal("republishing an existing version must fail")
+	}
+	entries, err := r.Scan()
+	if err != nil || len(entries) != 2 {
+		t.Fatalf("scan %v %v", entries, err)
+	}
+	if entries[0].Ref() != "sa@1" || entries[1].Ref() != "sa@2" {
+		t.Fatalf("scan order %v", entries)
+	}
+	b, err := r.Read("sa", 2)
+	if err != nil || string(b) != "zip-v2" {
+		t.Fatalf("read %q %v", b, err)
+	}
+	if _, err := r.Read("sa", 9); err == nil {
+		t.Fatal("reading a missing version must fail")
+	}
+}
+
+func TestPutExplicitVersionGap(t *testing.T) {
+	r := openTemp(t)
+	if _, err := r.Put("m", 5, []byte("five")); err != nil {
+		t.Fatal(err)
+	}
+	e, err := r.Put("m", 0, []byte("six"))
+	if err != nil || e.Version != 6 {
+		t.Fatalf("next free after explicit 5: %+v %v", e, err)
+	}
+}
+
+func TestInvalidNames(t *testing.T) {
+	r := openTemp(t)
+	for _, name := range []string{"", ".", "..", "a/b", `a\b`} {
+		if _, err := r.Put(name, 0, []byte("x")); err == nil {
+			t.Fatalf("name %q must be rejected", name)
+		}
+	}
+}
+
+func TestScanSkipsIncompletePublish(t *testing.T) {
+	r := openTemp(t)
+	// A crashed publish: version dir with only a temp file.
+	vdir := filepath.Join(r.Root(), "sa", "1")
+	if err := os.MkdirAll(vdir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(vdir, ".put-crashed"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := r.Scan()
+	if err != nil || len(entries) != 0 {
+		t.Fatalf("incomplete publish must be invisible: %v %v", entries, err)
+	}
+}
+
+func TestLegacyFlatLayout(t *testing.T) {
+	r := openTemp(t)
+	if err := os.WriteFile(filepath.Join(r.Root(), "old.zip"), []byte("legacy"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := r.Scan()
+	if err != nil || len(entries) != 1 || entries[0].Ref() != "old@1" {
+		t.Fatalf("legacy scan %v %v", entries, err)
+	}
+	if b, err := r.Read("old", 1); err != nil || string(b) != "legacy" {
+		t.Fatalf("legacy read %q %v", b, err)
+	}
+	vs, err := r.Versions("old")
+	if err != nil || len(vs) != 1 || vs[0].Version != 1 {
+		t.Fatalf("legacy versions %v %v", vs, err)
+	}
+	// A versioned publish shadows the flat file (and picks version 2:
+	// the legacy file is version 1).
+	if e, err := r.Put("old", 0, []byte("v2")); err != nil || e.Version != 2 {
+		t.Fatalf("put over legacy %+v %v", e, err)
+	}
+	entries, _ = r.Scan()
+	if len(entries) != 1 || entries[0].Ref() != "old@2" {
+		t.Fatalf("versioned layout must shadow the flat file: %v", entries)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	r := openTemp(t)
+	for v := 1; v <= 3; v++ {
+		if _, err := r.Put("m", v, []byte{byte(v)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Delete("m", 2); err != nil {
+		t.Fatal(err)
+	}
+	vs, _ := r.Versions("m")
+	if len(vs) != 2 || vs[0].Version != 1 || vs[1].Version != 3 {
+		t.Fatalf("after version delete: %v", vs)
+	}
+	if err := r.Delete("m", 0); err != nil {
+		t.Fatal(err)
+	}
+	if vs, _ := r.Versions("m"); len(vs) != 0 {
+		t.Fatalf("after model delete: %v", vs)
+	}
+}
+
+func TestLabelsRoundTrip(t *testing.T) {
+	r := openTemp(t)
+	if labels, err := r.Labels("m"); err != nil || len(labels) != 0 {
+		t.Fatalf("unset labels %v %v", labels, err)
+	}
+	want := map[string]int{"stable": 2, "canary": 3}
+	if err := r.PutLabels("m", want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Labels("m")
+	if err != nil || !reflect.DeepEqual(got, want) {
+		t.Fatalf("labels %v %v", got, err)
+	}
+}
+
+func TestPollReportsNewVersions(t *testing.T) {
+	r := openTemp(t)
+	if _, err := r.Put("seed", 1, []byte("pre")); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var got []string
+	p := r.Poll(5*time.Millisecond, func(added []Entry) {
+		mu.Lock()
+		for _, e := range added {
+			got = append(got, e.Ref())
+		}
+		mu.Unlock()
+	})
+	defer p.Stop()
+
+	if _, err := r.Put("seed", 2, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Put("fresh", 0, []byte("new-model")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("poller never reported new versions: %v", got)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	seen := map[string]bool{}
+	for _, ref := range got {
+		seen[ref] = true
+	}
+	if !seen["seed@2"] || !seen["fresh@1"] || seen["seed@1"] {
+		t.Fatalf("poll diff wrong: %v", got)
+	}
+}
+
+func TestConcurrentPuts(t *testing.T) {
+	r := openTemp(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				if _, err := r.Put("hot", 0, []byte("payload")); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	vs, err := r.Versions("hot")
+	if err != nil || len(vs) != 32 {
+		t.Fatalf("32 concurrent puts must land 32 distinct versions: %d %v", len(vs), err)
+	}
+}

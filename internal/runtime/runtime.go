@@ -490,14 +490,42 @@ func (rt *Runtime) SetLabel(name, label string, version int) error {
 // removes one version (and any labels pointing at it). Unknown names
 // and versions return ErrModelNotFound. Catalog entries are kept (other
 // plans may share them); parameters are released from the Object Store
-// by the caller if desired.
+// by the caller if desired — or use UnregisterRelease, which does both.
 func (rt *Runtime) Unregister(ref string) error {
+	_, err := rt.unregister(ref, false)
+	return err
+}
+
+// UnregisterRelease is Unregister for the lifecycle tier: after the
+// removed versions drain, their plans' interned parameters are released
+// back to the Object Store (dropping the store's accounting — and its
+// canonical references — for parameters no other resident plan shares)
+// and system-catalog kernels referenced by no remaining plan are
+// pruned. This is what makes evicting a model to disk actually shrink
+// the resident set; plain Unregister keeps shared state around on the
+// assumption the model is coming back.
+func (rt *Runtime) UnregisterRelease(ref string) error {
+	removed, err := rt.unregister(ref, true)
+	if err != nil {
+		return err
+	}
+	if rt.objStore != nil {
+		for _, r := range removed {
+			for _, p := range r.Plan.Interned {
+				rt.objStore.Release(p)
+			}
+		}
+	}
+	return nil
+}
+
+func (rt *Runtime) unregister(ref string, prune bool) ([]*Registered, error) {
 	name, rest := SplitRef(ref)
 	rt.mu.Lock()
 	m, ok := rt.models[name]
 	if !ok {
 		rt.mu.Unlock()
-		return fmt.Errorf("%w: %q", ErrModelNotFound, name)
+		return nil, fmt.Errorf("%w: %q", ErrModelNotFound, name)
 	}
 	var drain []*Registered
 	if rest == "" {
@@ -509,7 +537,7 @@ func (rt *Runtime) Unregister(ref string) error {
 		r, err := rt.resolveLocked(name, rest)
 		if err != nil {
 			rt.mu.Unlock()
-			return err
+			return nil, err
 		}
 		delete(m.versions, r.Version)
 		for l, v := range m.labels {
@@ -522,13 +550,37 @@ func (rt *Runtime) Unregister(ref string) error {
 		}
 		drain = append(drain, r)
 	}
+	if prune {
+		rt.pruneCatalogLocked(drain)
+	}
 	rt.mu.Unlock()
 	// New requests can no longer resolve the removed versions; wait for
 	// the ones that already did.
 	for _, r := range drain {
 		r.inflight.Wait()
 	}
-	return nil
+	return drain, nil
+}
+
+// pruneCatalogLocked drops system-catalog kernels that only the removed
+// plans referenced, so evicted models release their code as well as
+// their parameters. The caller holds rt.mu.
+func (rt *Runtime) pruneCatalogLocked(removed []*Registered) {
+	live := make(map[uint64]bool)
+	for _, m := range rt.models {
+		for _, r := range m.versions {
+			for _, s := range r.Plan.Stages {
+				live[s.ID] = true
+			}
+		}
+	}
+	for _, r := range removed {
+		for _, s := range r.Plan.Stages {
+			if !live[s.ID] {
+				delete(rt.catalog, s.ID)
+			}
+		}
+	}
 }
 
 // Names lists registered model names (bare, without versions), sorted.
@@ -611,12 +663,25 @@ type ModelLoad struct {
 }
 
 // ModelInfo describes one model: its labels, installed versions and
-// overload-plane load counters.
+// overload-plane load counters. The lifecycle fields (State, MemBytes,
+// Pinned) are filled by the lifecycle manager when one wraps the
+// engine — the runtime itself only knows resident models and leaves
+// them zero.
 type ModelInfo struct {
 	Name     string         `json:"name"`
 	Labels   map[string]int `json:"labels"`
 	Load     ModelLoad      `json:"load"`
 	Versions []VersionInfo  `json:"versions"`
+
+	// State is the lifecycle state: "warm", "cold", "loading" or
+	// "evicting" ("" when no lifecycle manager is attached).
+	State string `json:"state,omitempty"`
+	// MemBytes is the model's measured resident footprint while warm
+	// (dedup-aware: the marginal bytes this model added on load), or
+	// the import-time estimate while cold.
+	MemBytes int `json:"mem_bytes,omitempty"`
+	// Pinned marks the model exempt from budget eviction.
+	Pinned bool `json:"pinned,omitempty"`
 }
 
 func stageInfos(p *plan.Plan) []StageInfo {

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -296,5 +297,70 @@ func TestRegisterInvalidPlan(t *testing.T) {
 	rt, _ := newRT(t, Config{Executors: 1})
 	if _, err := rt.Register(&plan.Plan{Name: "empty"}); err == nil {
 		t.Fatal("invalid plan must be rejected")
+	}
+}
+
+// TestUnregisterReleaseFreesStoreAndCatalog is the lifecycle-eviction
+// contract: removing a model with UnregisterRelease must shrink the
+// Object Store by the model's unique parameters (shared ones stay for
+// their surviving users) and prune catalog kernels nothing else
+// references — while plain Unregister keeps both.
+func TestUnregisterReleaseFreesStoreAndCatalog(t *testing.T) {
+	rt, os := newRT(t, Config{Executors: 1})
+	// a and b share dictionaries (same builder sequence) but carry
+	// distinct weights.
+	register(t, rt, os, saPipeline(t, "a", 0), oven.DefaultOptions())
+	withBoth := os.MemBytes()
+	kernelsBoth := rt.CatalogStats().Kernels
+	register(t, rt, os, saPipeline(t, "b", 1), oven.DefaultOptions())
+
+	if err := rt.UnregisterRelease("b"); err != nil {
+		t.Fatal(err)
+	}
+	if got := os.MemBytes(); got != withBoth {
+		t.Fatalf("releasing b must return the store to a's footprint: %d != %d", got, withBoth)
+	}
+	if got := rt.CatalogStats().Kernels; got != kernelsBoth {
+		t.Fatalf("releasing b must prune its unique kernels: %d != %d", got, kernelsBoth)
+	}
+	in, out := vector.New(0), vector.New(0)
+	in.SetText("nice product")
+	if err := rt.Predict("a", in, out); err != nil {
+		t.Fatalf("surviving model must keep serving after sibling release: %v", err)
+	}
+
+	if err := rt.UnregisterRelease("a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := os.Count(); got != 0 {
+		t.Fatalf("releasing the last model must empty the store: %d params left", got)
+	}
+	if got := rt.CatalogStats().Kernels; got != 0 {
+		t.Fatalf("releasing the last model must empty the catalog: %d kernels left", got)
+	}
+	if err := rt.Predict("a", in, out); !errors.Is(err, ErrModelNotFound) {
+		t.Fatalf("released model must be gone: %v", err)
+	}
+}
+
+// TestUnregisterReleaseOneVersion releases a single version while its
+// sibling version keeps serving with its shared parameters intact.
+func TestUnregisterReleaseOneVersion(t *testing.T) {
+	rt, os := newRT(t, Config{Executors: 1})
+	register(t, rt, os, saPipeline(t, "m", 0), oven.DefaultOptions())
+	register(t, rt, os, saPipeline(t, "m@2", 1), oven.DefaultOptions())
+	if err := rt.UnregisterRelease("m@2"); err != nil {
+		t.Fatal(err)
+	}
+	in, out := vector.New(0), vector.New(0)
+	in.SetText("nice product")
+	if err := rt.Predict("m", in, out); err != nil {
+		t.Fatalf("version 1 must survive version 2's release: %v", err)
+	}
+	if err := rt.UnregisterRelease("m"); err != nil {
+		t.Fatal(err)
+	}
+	if got := os.Count(); got != 0 {
+		t.Fatalf("store must be empty after full release: %d", got)
 	}
 }

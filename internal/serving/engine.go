@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"time"
 
+	"pretzel/internal/metrics"
 	"pretzel/internal/runtime"
 	"pretzel/internal/sched"
 	"pretzel/internal/store"
@@ -30,6 +31,9 @@ var (
 	// ErrNotReady reports an engine that cannot currently serve
 	// (readiness probe failure, HTTP 503).
 	ErrNotReady = errors.New("serving: engine not ready")
+	// ErrUnsupported reports an operation the engine does not implement
+	// (e.g. pinning on an engine with no lifecycle manager, HTTP 501).
+	ErrUnsupported = errors.New("serving: operation not supported by this engine")
 )
 
 // MapCtxErr folds raw context errors into the runtime's typed
@@ -97,6 +101,46 @@ type Stats struct {
 
 	// Cluster is the routing tier's view (nil for local engines).
 	Cluster *ClusterStats `json:"cluster,omitempty"`
+
+	// Lifecycle is the model-storage tier's view (nil unless a
+	// lifecycle manager wraps the engine).
+	Lifecycle *LifecycleStats `json:"lifecycle,omitempty"`
+}
+
+// LifecycleStats is the white-box view of the model storage tier: the
+// RAM budget, what is resident against it, and the cold-start price
+// paid for everything that is not.
+type LifecycleStats struct {
+	// ResidentBytes is the measured marginal footprint of all warm
+	// models (dedup-aware: each model's delta at load time).
+	ResidentBytes int64 `json:"resident_bytes"`
+	// BudgetBytes is the configured RAM budget (0 = unlimited).
+	BudgetBytes int64 `json:"budget_bytes"`
+	// Lazy reports whether startup preloading was disabled.
+	Lazy bool `json:"lazy"`
+
+	// Warm/Cold/Loading/Pinned count managed models by state.
+	Warm    int `json:"warm"`
+	Cold    int `json:"cold"`
+	Loading int `json:"loading"`
+	Pinned  int `json:"pinned"`
+
+	// ColdLoads counts disk→RAM loads (startup preloads included),
+	// Evictions RAM→disk evictions, LoadErrs failed load attempts.
+	ColdLoads uint64 `json:"cold_loads"`
+	Evictions uint64 `json:"evictions"`
+	LoadErrs  uint64 `json:"load_errs,omitempty"`
+
+	// ColdStart is the latency histogram of cold loads: the extra
+	// price the first request after an eviction pays.
+	ColdStart metrics.HistogramSnapshot `json:"cold_start"`
+
+	// RepoRoot is the on-disk repository path; RepoModels/RepoVersions
+	// and RepoBytes its current disk inventory.
+	RepoRoot     string `json:"repo_root,omitempty"`
+	RepoModels   int    `json:"repo_models"`
+	RepoVersions int    `json:"repo_versions"`
+	RepoBytes    int64  `json:"repo_bytes"`
 }
 
 // ClusterStats is the white-box view of a routing engine: placement

@@ -58,9 +58,11 @@ import (
 	"pretzel/internal/cluster"
 	"pretzel/internal/flour"
 	"pretzel/internal/frontend"
+	"pretzel/internal/lifecycle"
 	"pretzel/internal/oven"
 	"pretzel/internal/pipeline"
 	"pretzel/internal/plan"
+	"pretzel/internal/repo"
 	"pretzel/internal/runtime"
 	"pretzel/internal/serving"
 	"pretzel/internal/store"
@@ -137,6 +139,19 @@ type (
 	ChaosInjector = chaos.Injector
 	// ChaosRule is one armed fault of a ChaosInjector.
 	ChaosRule = chaos.Rule
+	// ModelRepo is the versioned on-disk model repository
+	// (<name>/<version>/model.zip with atomic publishes).
+	ModelRepo = repo.Repo
+	// RepoEntry is one published model version on disk.
+	RepoEntry = repo.Entry
+	// LifecycleManager is the RAM-budgeted model storage Engine
+	// middleware: disk-backed catalog, LRU eviction, lazy single-flight
+	// cold loads, pinning.
+	LifecycleManager = lifecycle.Manager
+	// LifecycleConfig parameterizes a LifecycleManager.
+	LifecycleConfig = lifecycle.Config
+	// LifecycleStats is the model storage tier's white-box snapshot.
+	LifecycleStats = serving.LifecycleStats
 )
 
 // Typed sentinel errors of the serving API (match with errors.Is).
@@ -229,3 +244,14 @@ func NewChaosInjector(eng Engine, seed int64) *ChaosInjector { return chaos.New(
 
 // ImportPipeline deserializes a pipeline from exported model-file bytes.
 func ImportPipeline(b []byte) (*Pipeline, error) { return pipeline.ImportBytes(b) }
+
+// OpenModelRepo opens (creating if necessary) a versioned on-disk
+// model repository rooted at dir.
+func OpenModelRepo(dir string) (*ModelRepo, error) { return repo.Open(dir) }
+
+// NewLifecycleManager wraps a local engine with the model storage
+// tier: the repository holds every model on disk, RAM holds a budgeted
+// working set, and cold models load lazily on first use.
+func NewLifecycleManager(eng *LocalEngine, r *ModelRepo, cfg LifecycleConfig) (*LifecycleManager, error) {
+	return lifecycle.New(eng, r, cfg)
+}

@@ -48,14 +48,16 @@ MODEL=$(basename "$ZIP" .zip)
 log "model: $MODEL"
 
 # Two empty nodes + a router over them (K=2: the model replicates to
-# both, so either node can die without losing it).
+# both, so either node can die without losing it). Each node gets its
+# own repository directory: uploads write through to disk, and two
+# nodes publishing the same version into one directory would collide.
 # -chaos: nodes expose /chaos fault-injection endpoints for the
 # mid-traffic chaos drill below. -cache 0 on the nodes too: a node's
 # prediction cache sits in front of the injector and would serve the
 # repeated smoke input without ever reaching the armed faults.
-"$BIN" -models "$WORK/none" -addr 127.0.0.1:7101 -executors 2 -cache 0 -chaos -chaos-seed 7 &
+"$BIN" -models "$WORK/repo1" -addr 127.0.0.1:7101 -executors 2 -cache 0 -chaos -chaos-seed 7 &
 PIDS+=($!); NODE1=$!
-"$BIN" -models "$WORK/none" -addr 127.0.0.1:7102 -executors 2 -cache 0 -chaos -chaos-seed 7 &
+"$BIN" -models "$WORK/repo2" -addr 127.0.0.1:7102 -executors 2 -cache 0 -chaos -chaos-seed 7 &
 PIDS+=($!)
 # -cache 0: every predict must actually route (a cached result would
 # mask a broken failover path). -hedge-delay: slow owners get a backup
@@ -137,4 +139,48 @@ log "failover predict ok after node kill: $OUT"
 STATZ=$(curl -fsS http://127.0.0.1:7100/statz)
 echo "$STATZ" | grep -q '"cluster"' || { log "router statz missing cluster view: $STATZ"; exit 1; }
 log "router statz cluster view present"
+
+# Restart-recover drill: a standalone node over a persistent model
+# repository. An upload must write through to disk
+# (<name>/<version>/model.zip), survive a SIGTERM restart, and — with
+# -lazy-load — come back cold, then serve again on first request
+# without re-upload.
+log "restart-recover drill: standalone node with persistent repository"
+REPO="$WORK/noderepo"
+node3_predict() {
+  curl -fsS -X POST -H 'Content-Type: application/json' \
+    -d "{\"model\":\"$MODEL\",\"input\":\"a nice product\"}" \
+    "http://127.0.0.1:7103/predict"
+}
+"$BIN" -models "$REPO" -addr 127.0.0.1:7103 -executors 2 -cache 0 \
+  -ram-budget 256M -lazy-load &
+PIDS+=($!); NODE3=$!
+wait_ready http://127.0.0.1:7103 "node3"
+
+curl -fsS -X POST --data-binary @"$ZIP" \
+  "http://127.0.0.1:7103/models?name=$MODEL" >/dev/null
+OUT=$(node3_predict)
+echo "$OUT" | grep -q '"prediction"' || { log "standalone predict failed: $OUT"; exit 1; }
+[ -f "$REPO/$MODEL/1/model.zip" ] || { log "upload did not persist under $REPO"; exit 1; }
+log "upload persisted to $REPO/$MODEL/1/model.zip"
+
+log "restarting node3 (SIGTERM, same repository)"
+kill -TERM "$NODE3"
+wait "$NODE3" 2>/dev/null || true
+"$BIN" -models "$REPO" -addr 127.0.0.1:7103 -executors 2 -cache 0 \
+  -ram-budget 256M -lazy-load &
+PIDS+=($!)
+wait_ready http://127.0.0.1:7103 "node3 (restarted)"
+
+MODELS=$(curl -fsS http://127.0.0.1:7103/models)
+echo "$MODELS" | grep -q "\"$MODEL\"" || { log "restarted node lost the model: $MODELS"; exit 1; }
+echo "$MODELS" | grep -q '"state":"cold"' || { log "restarted lazy node should report the model cold: $MODELS"; exit 1; }
+log "restarted node recovered $MODEL from disk (cold)"
+
+OUT=$(node3_predict)
+echo "$OUT" | grep -q '"prediction"' || { log "predict after restart failed: $OUT"; exit 1; }
+STATZ=$(curl -fsS http://127.0.0.1:7103/statz)
+echo "$STATZ" | grep -q '"lifecycle"' || { log "node statz missing lifecycle section: $STATZ"; exit 1; }
+echo "$STATZ" | grep -q '"cold_loads":1' || { log "restarted node should report one cold load: $STATZ"; exit 1; }
+log "cold-start predict ok after restart, no re-upload needed"
 log "PASS"
