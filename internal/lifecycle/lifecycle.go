@@ -91,7 +91,18 @@ type managed struct {
 	// never chosen as an eviction victim: the warm-check→dispatch
 	// window cannot race an eviction.
 	inflight atomic.Int64
+	// badErr/badUntil negative-cache a failed load: until badUntil,
+	// cold predicts fail fast with badErr instead of redoing the full
+	// multi-version disk read + compile on every request against a
+	// persistently corrupt model. Cleared on a successful load and
+	// when a new version is published.
+	badErr   error
+	badUntil time.Time
 }
+
+// loadFailCooldown is how long a fully failed load is negative-cached
+// before a predict retries it from disk.
+const loadFailCooldown = 2 * time.Second
 
 // Manager is the lifecycle middleware. See the package comment.
 type Manager struct {
@@ -187,6 +198,9 @@ func (m *Manager) noteVersion(name string, version int, bytes int64) *managed {
 	e.versions = append(e.versions, version)
 	sort.Ints(e.versions)
 	e.est += bytes
+	// A fresh version gives a bad model a new chance immediately.
+	e.badErr = nil
+	e.badUntil = time.Time{}
 	return e
 }
 
@@ -240,15 +254,23 @@ var errBudget = errors.New("lifecycle: over budget")
 func (m *Manager) loadLocked(e *managed, allowEvict bool) error {
 	start := time.Now()
 	m.setState(e, StateLoading)
+	// doLoad owns loadErrs accounting (it counts per failed version).
 	err := m.doLoad(e, allowEvict)
 	if err != nil {
-		m.setState(e, StateCold)
+		m.mu.Lock()
+		e.state = StateCold
 		if !errors.Is(err, errBudget) {
-			m.loadErrs.Add(1)
+			e.badErr = err
+			e.badUntil = time.Now().Add(loadFailCooldown)
 		}
+		m.mu.Unlock()
 		return err
 	}
-	m.setState(e, StateWarm)
+	m.mu.Lock()
+	e.state = StateWarm
+	e.badErr = nil
+	e.badUntil = time.Time{}
+	m.mu.Unlock()
 	m.touch(e)
 	m.coldLoads.Add(1)
 	m.coldStart.Record(time.Since(start))
@@ -258,28 +280,39 @@ func (m *Manager) loadLocked(e *managed, allowEvict bool) error {
 func (m *Manager) doLoad(e *managed, allowEvict bool) error {
 	vs, err := m.repo.Versions(e.name)
 	if err != nil {
+		m.loadErrs.Add(1)
 		return err
 	}
 	if len(vs) == 0 {
+		m.loadErrs.Add(1)
 		return fmt.Errorf("%w: %q has no published versions", runtime.ErrModelNotFound, e.name)
 	}
 	type imported struct {
 		version int
 		pipe    *pipeline.Pipeline
 	}
+	// A single corrupt version on disk (e.g. a half-trained model
+	// rsync'd by an offline trainer) must not make the whole name
+	// unservable: individually bad versions are skipped and counted as
+	// load errors, and only an entirely-bad model fails the load.
 	imps := make([]imported, 0, len(vs))
 	var est int64
+	var badErr error
 	for _, v := range vs {
 		raw, err := m.repo.Read(v.Name, v.Version)
-		if err != nil {
-			return err
+		if err == nil {
+			var p *pipeline.Pipeline
+			if p, err = pipeline.ImportBytes(raw); err == nil {
+				imps = append(imps, imported{v.Version, p})
+				est += estimateBytes(p)
+				continue
+			}
 		}
-		p, err := pipeline.ImportBytes(raw)
-		if err != nil {
-			return fmt.Errorf("%w: %s@%d: %v", serving.ErrBadModel, v.Name, v.Version, err)
-		}
-		imps = append(imps, imported{v.Version, p})
-		est += estimateBytes(p)
+		badErr = fmt.Errorf("%w: %s@%d: %v", serving.ErrBadModel, v.Name, v.Version, err)
+		m.loadErrs.Add(1)
+	}
+	if len(imps) == 0 {
+		return badErr
 	}
 	if !m.makeRoom(est, e, allowEvict) {
 		return errBudget
@@ -290,15 +323,19 @@ func (m *Manager) doLoad(e *managed, allowEvict bool) error {
 	for _, im := range imps {
 		pl, err := oven.Compile(im.pipe, m.rt.ObjectStore(), m.comp)
 		if err == nil {
-			_, err = m.rt.RegisterVersion(pl, e.name, im.version)
+			if _, err = m.rt.RegisterVersion(pl, e.name, im.version); err != nil {
+				oven.ReleaseInterned(m.rt.ObjectStore(), pl.Interned)
+			}
 		}
 		if err != nil {
-			for _, v := range done {
-				_ = m.rt.UnregisterRelease(fmt.Sprintf("%s@%d", e.name, v))
-			}
-			return fmt.Errorf("%w: %s@%d: %v", serving.ErrBadModel, e.name, im.version, err)
+			badErr = fmt.Errorf("%w: %s@%d: %v", serving.ErrBadModel, e.name, im.version, err)
+			m.loadErrs.Add(1)
+			continue
 		}
 		done = append(done, im.version)
+	}
+	if len(done) == 0 {
+		return badErr
 	}
 	labels, err := m.repo.Labels(e.name)
 	if err != nil {
@@ -366,13 +403,21 @@ func (m *Manager) evictOne(exclude *managed) bool {
 	victim.state = StateEvicting
 	m.mu.Unlock()
 
+	// Credit back the bytes ACTUALLY freed, not the marginal delta
+	// charged at load time: once the first loader of shared parameters
+	// is evicted, the shared bytes stay resident (other warm models
+	// still hold them) and crediting the load-time charge would make
+	// the counter under-report real RAM. loadMu (held by the caller)
+	// makes the MemBytes delta exact.
+	before := m.rt.MemBytes()
 	err := m.rt.UnregisterRelease(victim.name)
+	freed := int64(before - m.rt.MemBytes())
 	m.mu.Lock()
 	if err != nil {
 		victim.state = StateWarm
 	} else {
 		victim.state = StateCold
-		m.resident.Add(-victim.bytes)
+		m.resident.Add(-freed)
 		victim.bytes = 0
 		m.evictions.Add(1)
 	}
@@ -436,8 +481,12 @@ func (m *Manager) ensureWarm(name string) (*managed, error) {
 	defer m.loadMu.Unlock()
 	m.mu.RLock()
 	warm := e.state == StateWarm
+	badErr, badUntil := e.badErr, e.badUntil
 	m.mu.RUnlock()
 	if !warm {
+		if badErr != nil && time.Now().Before(badUntil) {
+			return nil, badErr
+		}
 		if err := m.loadLocked(e, true); err != nil {
 			return nil, err
 		}
@@ -668,6 +717,7 @@ func (m *Manager) Register(zip []byte, opts serving.RegisterOptions) (serving.Re
 			return serving.RegisterResult{}, fmt.Errorf("%w: compiling: %v", serving.ErrBadModel, err)
 		}
 		if _, err := m.rt.RegisterVersion(pl, name, ent.Version); err != nil {
+			oven.ReleaseInterned(m.rt.ObjectStore(), pl.Interned)
 			return serving.RegisterResult{}, err
 		}
 		delta := int64(m.rt.MemBytes() - before)
@@ -804,7 +854,10 @@ func (m *Manager) Unregister(ref string) error {
 	}
 
 	if warm {
-		if err := m.unregisterRelease(e, fmt.Sprintf("%s@%d", name, version)); err != nil {
+		// A version skipped as corrupt at load time is on disk but not
+		// in the runtime; its absence must not block deleting it.
+		err := m.unregisterRelease(e, fmt.Sprintf("%s@%d", name, version))
+		if err != nil && !errors.Is(err, runtime.ErrModelNotFound) {
 			return err
 		}
 	}
@@ -906,6 +959,17 @@ func (m *Manager) onDiscovered(added []repo.Entry) {
 		// Hot model, new version: bring the catalog up to date now
 		// rather than waiting for an eviction cycle.
 		m.loadMu.Lock()
+		// Re-check under loadMu: an eviction (which holds loadMu) may
+		// have turned the model cold while we waited, and registering a
+		// version on a cold model would strand a runtime entry that
+		// makes every later cold load fail with "already registered".
+		m.mu.RLock()
+		warm = e.state == StateWarm
+		m.mu.RUnlock()
+		if !warm {
+			m.loadMu.Unlock()
+			continue // already noted; the next cold load picks it up
+		}
 		raw, err := m.repo.Read(ent.Name, ent.Version)
 		var p *pipeline.Pipeline
 		if err == nil {
@@ -917,7 +981,9 @@ func (m *Manager) onDiscovered(added []repo.Entry) {
 			pl, cerr := oven.Compile(p, m.rt.ObjectStore(), m.comp)
 			err = cerr
 			if err == nil {
-				_, err = m.rt.RegisterVersion(pl, ent.Name, ent.Version)
+				if _, err = m.rt.RegisterVersion(pl, ent.Name, ent.Version); err != nil {
+					oven.ReleaseInterned(m.rt.ObjectStore(), pl.Interned)
+				}
 			}
 			if err == nil {
 				delta := int64(m.rt.MemBytes() - before)

@@ -27,8 +27,13 @@ import (
 // model's marginal footprint trivial and the budget meaningless).
 func buildZip(t testing.TB, name string, bump float32) []byte {
 	t.Helper()
+	// Hex-encode the name into a single alphanumeric token: a raw name
+	// like "m-a" tokenizes into 1-char fragments that yield no 2-3
+	// char-ngrams, which would leave the char dictionary identical
+	// (shared) across models.
+	salt := fmt.Sprintf("x%x", name)
 	cb, wb := text.NewDictBuilder(), text.NewDictBuilder()
-	for _, doc := range []string{"nice product great wonderful " + name, "bad refund awful broken own" + name} {
+	for _, doc := range []string{"nice product great wonderful " + salt, "bad refund awful broken own" + salt} {
 		toks := text.Tokenize(doc, nil)
 		for _, tok := range toks {
 			text.ObserveCharNgrams(cb, []byte(tok), 2, 3)
@@ -133,6 +138,52 @@ func TestLazyColdLoadOnFirstPredict(t *testing.T) {
 	}
 	if m.ResidentBytes() <= 0 {
 		t.Fatal("resident bytes must be accounted")
+	}
+}
+
+// TestCorruptVersionSkipped: a single corrupt version on disk (e.g.
+// half-written by an offline trainer) must not make the whole model
+// unservable — good versions load and the bad one counts as a load
+// error. A model whose EVERY version is corrupt fails fast on repeat
+// predicts (negative cache) instead of redoing the full disk read +
+// compile on each request.
+func TestCorruptVersionSkipped(t *testing.T) {
+	dir := t.TempDir()
+	r := openRepo(t, dir)
+	if _, err := r.Put("sa", 1, buildZip(t, "sa", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Put("sa", 2, []byte("not a zip")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Put("bad", 1, []byte("also not a zip")); err != nil {
+		t.Fatal(err)
+	}
+	m := newManager(t, dir, Config{LazyLoad: true})
+
+	if out := predict(t, m, "sa"); out[0] <= 0.5 {
+		t.Fatalf("score %v", out[0])
+	}
+	if got := state(m, "sa"); got != StateWarm {
+		t.Fatalf("good version must serve despite corrupt sibling, got %q", got)
+	}
+	if m.loadErrs.Load() == 0 {
+		t.Fatal("skipped corrupt version must count as a load error")
+	}
+
+	// Fully corrupt model: the load fails with ErrBadModel...
+	_, err := m.Predict(context.Background(), "bad", "x", serving.PredictOptions{})
+	if !errors.Is(err, serving.ErrBadModel) {
+		t.Fatalf("fully corrupt model: %v", err)
+	}
+	// ...and an immediate retry is answered from the negative cache:
+	// no new load attempt, so loadErrs must not move.
+	errs := m.loadErrs.Load()
+	if _, err := m.Predict(context.Background(), "bad", "x", serving.PredictOptions{}); !errors.Is(err, serving.ErrBadModel) {
+		t.Fatalf("cached failure: %v", err)
+	}
+	if got := m.loadErrs.Load(); got != errs {
+		t.Fatalf("negative cache missed: load retried (%d -> %d load errors)", errs, got)
 	}
 }
 
@@ -511,8 +562,11 @@ func TestBudgetReassertsAfterDrain(t *testing.T) {
 	dir := t.TempDir()
 	r := openRepo(t, dir)
 	names := []string{"m-a", "m-b", "m-c"}
-	for _, n := range names {
-		if _, err := r.Put(n, 0, buildZip(t, n, 0)); err != nil {
+	for i, n := range names {
+		// Distinct bumps keep the weight vectors unshared: resident
+		// accounting credits back what eviction ACTUALLY frees, so a
+		// model must free its full charge for the budget to re-assert.
+		if _, err := r.Put(n, 0, buildZip(t, n, float32(i+1))); err != nil {
 			t.Fatal(err)
 		}
 	}

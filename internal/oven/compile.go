@@ -44,14 +44,33 @@ func Compile(p *pipeline.Pipeline, objStore *store.ObjectStore, opts Options) (*
 	// Object Store interning: new parameters are kept, already-present
 	// ones are dropped in favour of the canonical instance (§4.1.3).
 	// The canonical instances are remembered for the plan so an eviction
-	// can release exactly what was interned.
+	// can release exactly what was interned — and so a failure on any
+	// later compile step can give the references back instead of
+	// stranding refcounts (and bytes) in the store forever.
 	var interned []ops.Param
+	compiled := false
 	if objStore != nil {
+		defer func() {
+			if !compiled {
+				ReleaseInterned(objStore, interned)
+			}
+		}()
 		for i, n := range p.Nodes {
-			if err := objStore.InternOp(n.Op); err != nil {
+			ps := n.Op.Params()
+			if len(ps) == 0 {
+				continue
+			}
+			shared := make([]ops.Param, len(ps))
+			for k, q := range ps {
+				shared[k] = objStore.Intern(q)
+			}
+			// Track before SetParams: a failure there still leaves the
+			// refcounts incremented, and Release keys by checksum, so
+			// releasing the canonical instances undoes them exactly.
+			interned = append(interned, shared...)
+			if err := n.Op.SetParams(shared); err != nil {
 				return nil, fmt.Errorf("oven: interning node %d: %w", i, err)
 			}
-			interned = append(interned, n.Op.Params()...)
 		}
 	}
 
@@ -79,7 +98,22 @@ func Compile(p *pipeline.Pipeline, objStore *store.ObjectStore, opts Options) (*
 		return nil, err
 	}
 	pl.Interned = interned
+	compiled = true
 	return pl, nil
+}
+
+// ReleaseInterned returns a compiled plan's interned parameter
+// references to the Object Store. Callers that fail AFTER a successful
+// Compile — e.g. a version registration that errors — must call this
+// (with the plan's Interned slice) or the refcounts and parameter
+// bytes stay charged to the store with no plan owning them.
+func ReleaseInterned(objStore *store.ObjectStore, interned []ops.Param) {
+	if objStore == nil {
+		return
+	}
+	for _, p := range interned {
+		objStore.Release(p)
+	}
 }
 
 // --- Step 4: OutputGraphValidatorStep (6 rules) ---

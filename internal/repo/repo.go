@@ -290,6 +290,14 @@ func (r *Repo) Delete(name string, version int) error {
 		if err := os.RemoveAll(filepath.Join(r.dir(name), strconv.Itoa(version))); err != nil {
 			return fmt.Errorf("repo: %w", err)
 		}
+		// A legacy flat zip surfaces as version 1: deleting version 1
+		// must remove it too, or the "deleted" version resurrects on
+		// the next scan.
+		if version == 1 {
+			if err := os.Remove(r.legacyPath(name)); err != nil && !os.IsNotExist(err) {
+				return fmt.Errorf("repo: %w", err)
+			}
+		}
 		return nil
 	}
 	if err := os.RemoveAll(r.dir(name)); err != nil {

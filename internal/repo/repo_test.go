@@ -134,6 +134,22 @@ func TestDelete(t *testing.T) {
 	}
 }
 
+// TestDeleteLegacyVersion: a legacy flat zip surfaces as version 1, so
+// deleting version 1 must remove it too — otherwise the "deleted"
+// version resurrects on the next scan or restart.
+func TestDeleteLegacyVersion(t *testing.T) {
+	r := openTemp(t)
+	if err := os.WriteFile(filepath.Join(r.Root(), "old.zip"), []byte("legacy"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Delete("old", 1); err != nil {
+		t.Fatal(err)
+	}
+	if entries, err := r.Scan(); err != nil || len(entries) != 0 {
+		t.Fatalf("legacy zip resurrected after delete: %v %v", entries, err)
+	}
+}
+
 func TestLabelsRoundTrip(t *testing.T) {
 	r := openTemp(t)
 	if labels, err := r.Labels("m"); err != nil || len(labels) != 0 {

@@ -113,6 +113,7 @@ func (l *Local) Register(zip []byte, opts RegisterOptions) (RegisterResult, erro
 	}
 	reg, err := l.rt.RegisterVersion(pl, name, opts.Version)
 	if err != nil {
+		oven.ReleaseInterned(l.rt.ObjectStore(), pl.Interned)
 		return RegisterResult{}, err
 	}
 	if opts.Label != "" {

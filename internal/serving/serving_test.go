@@ -128,6 +128,38 @@ func TestLocalRegisterLifecycle(t *testing.T) {
 	}
 }
 
+// TestRegisterFailureReleasesInterned: a Register whose version
+// registration fails must give the compile's interned parameter
+// references back to the Object Store, or repeated failed uploads
+// strand refcounts (and bytes) there forever.
+func TestRegisterFailureReleasesInterned(t *testing.T) {
+	rt := runtime.New(store.New(), runtime.Config{Executors: 1})
+	t.Cleanup(rt.Close)
+	eng := NewLocal(rt, nil)
+	zip := testZip(t, "m")
+	if _, err := eng.Register(zip, RegisterOptions{Version: 1}); err != nil {
+		t.Fatal(err)
+	}
+	base := rt.ObjectStore().Stats()
+	// Duplicate version: Compile interns a second reference to every
+	// parameter before RegisterVersion fails.
+	if _, err := eng.Register(zip, RegisterOptions{Version: 1}); err == nil {
+		t.Fatal("duplicate register must fail")
+	}
+	if got := rt.ObjectStore().Stats(); got.Unique != base.Unique || got.Bytes != base.Bytes {
+		t.Fatalf("store grew across failed register: %+v -> %+v", base, got)
+	}
+	// The surviving registration owns exactly one reference per
+	// parameter: releasing it must drain the store to empty. A leaked
+	// refcount from the failed register would keep entries alive.
+	if err := rt.UnregisterRelease("m"); err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.ObjectStore().Stats(); got.Unique != 0 || got.Bytes != 0 {
+		t.Fatalf("failed register leaked store references: %+v", got)
+	}
+}
+
 func TestLocalReady(t *testing.T) {
 	rt := runtime.New(store.New(), runtime.Config{Executors: 1})
 	eng := NewLocal(rt, nil)
