@@ -80,6 +80,11 @@ func main() {
 		probeEvery  = flag.Duration("probe-interval", 500*time.Millisecond, "router mode: node health-check interval")
 		hedgeDelay  = flag.Duration("hedge-delay", 0, "router mode: fire a backup request to the next replica after this delay (0 = off)")
 		retryBudget = flag.Int("retry-budget", 0, "router mode: total forward attempts per prediction (0 = 3)")
+		warmthEvery = flag.Duration("warmth-interval", 0, "router mode: warmth-map poll interval for warm-aware placement (0 = 1s, negative = off)")
+		hashOnly    = flag.Bool("hash-only", false, "router mode: disable warm-aware placement, route in pure hash order")
+		prewarm     = flag.Int("prewarm", 0, "router mode: concurrent pre-warm loads during a rebalance (0 = 2)")
+		prewarmGap  = flag.Duration("prewarm-stagger", 0, "router mode: delay between pre-warm launches (0 = 25ms, negative = none)")
+		probeFails  = flag.Int("probe-failures", 0, "router mode: consecutive failed probe rounds before a node is marked down (0 = 2)")
 
 		chaosOn   = flag.Bool("chaos", false, "enable the /chaos fault-injection endpoints (deterministic chaos testing)")
 		chaosSeed = flag.Int64("chaos-seed", 1, "seed for the chaos injector's fault decisions")
@@ -109,10 +114,15 @@ func main() {
 			log.Fatal("router mode needs -nodes=host:port,host:port,...")
 		}
 		r, err := cluster.NewRouter(members, cluster.Config{
-			Replication:   *replication,
-			ProbeInterval: *probeEvery,
-			HedgeDelay:    *hedgeDelay,
-			RetryBudget:   *retryBudget,
+			Replication:        *replication,
+			ProbeInterval:      *probeEvery,
+			HedgeDelay:         *hedgeDelay,
+			RetryBudget:        *retryBudget,
+			WarmthInterval:     *warmthEvery,
+			HashOnly:           *hashOnly,
+			PrewarmConcurrency: *prewarm,
+			PrewarmStagger:     *prewarmGap,
+			ProbeFailures:      *probeFails,
 		})
 		if err != nil {
 			log.Fatal(err)

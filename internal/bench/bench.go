@@ -235,6 +235,7 @@ func Experiments() []Experiment {
 		{"cluster", "sharded cluster tier: aggregate goodput + p99 vs node count at fixed per-node capacity", runClusterExp},
 		{"chaos", "fault containment: panic quarantine + hedged routing under injected faults", runChaosExp},
 		{"longtail", "model storage tier: goodput + cold-start latency vs RAM-budget fraction under Zipf traffic", runLongtail},
+		{"churn", "placement plane: tail latency + success through node kill/join, warm-aware vs hash-only", runChurnExp},
 	}
 }
 

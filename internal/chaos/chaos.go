@@ -396,6 +396,42 @@ func (c *Injector) Pin(name string, pinned bool) error {
 	return fmt.Errorf("%w: no lifecycle manager attached", serving.ErrUnsupported)
 }
 
+// Warm forwards the lifecycle tier's pre-warm capability through the
+// middleware (ErrUnsupported when no lifecycle manager is below).
+func (c *Injector) Warm(name string) error {
+	if w, ok := c.inner.(interface{ Warm(string) error }); ok {
+		return w.Warm(name)
+	}
+	return fmt.Errorf("%w: no lifecycle manager attached", serving.ErrUnsupported)
+}
+
+// ExportVersion forwards the repository's zip-export capability
+// through the middleware (ErrUnsupported when no repository is below).
+func (c *Injector) ExportVersion(name string, version int) ([]byte, error) {
+	if e, ok := c.inner.(interface {
+		ExportVersion(string, int) ([]byte, error)
+	}); ok {
+		return e.ExportVersion(name, version)
+	}
+	return nil, fmt.Errorf("%w: no model repository attached", serving.ErrUnsupported)
+}
+
+// AddMember and RemoveMember forward cluster-membership administration
+// through the middleware, so a chaos-wrapped router still rebalances.
+func (c *Injector) AddMember(id, addr string) error {
+	if a, ok := c.inner.(interface{ AddMember(string, string) error }); ok {
+		return a.AddMember(id, addr)
+	}
+	return fmt.Errorf("%w: not a routing engine", serving.ErrUnsupported)
+}
+
+func (c *Injector) RemoveMember(id string) error {
+	if a, ok := c.inner.(interface{ RemoveMember(string) error }); ok {
+		return a.RemoveMember(id)
+	}
+	return fmt.Errorf("%w: not a routing engine", serving.ErrUnsupported)
+}
+
 // Quarantined forwards the wrapped engine's quarantine report (nil
 // when the engine has none), keeping /readyz truthful through the
 // middleware.

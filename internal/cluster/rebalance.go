@@ -1,0 +1,292 @@
+// Rebalancer: membership churn without cold-start storms. On node
+// join the ownership delta is computed on a cloned ring and every
+// (model, new owner) pair is pre-warmed — the model's zips replicated
+// from a current owner and loaded into RAM via POST /models/{name}/warm
+// — BEFORE the new ring is swapped in, so traffic only shifts onto
+// warm replicas. On leave the ring swaps immediately (the node may
+// already be gone) and the promoted owners pre-warm right after; a
+// probe-down (post-hysteresis) pre-warms the down node's co-owners in
+// the background so failover hits warm RAM instead of disk.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"pretzel/internal/runtime"
+)
+
+// prewarmTask is one (model, destination) pre-warm unit: make targetID
+// hold the model's versions on disk and the model warm in RAM.
+type prewarmTask struct {
+	model  runtime.ModelInfo
+	target string
+	// sources are member IDs known to hold the model (the pre-change
+	// owner set), tried in order for zip replication.
+	sources []string
+}
+
+// ownershipDelta lists the (model, owner) pairs that exist under next
+// but not under prev: the destinations churn is about to shift traffic
+// onto, i.e. the pre-warm work list.
+func ownershipDelta(models []runtime.ModelInfo, prev, next *Ring, k int) []prewarmTask {
+	var tasks []prewarmTask
+	for _, mi := range models {
+		name, _ := runtime.SplitRef(mi.Name)
+		before := prev.Owners(name, k)
+		had := make(map[string]bool, len(before))
+		for _, id := range before {
+			had[id] = true
+		}
+		for _, id := range next.Owners(name, k) {
+			if !had[id] {
+				tasks = append(tasks, prewarmTask{model: mi, target: id, sources: before})
+			}
+		}
+	}
+	return tasks
+}
+
+// AddMember joins a node to the cluster: it is registered and probed,
+// the ownership delta against the grown ring is pre-warmed (staggered,
+// concurrency-capped), and only then does the new ring take traffic —
+// the join is invisible to tail latency because by the time requests
+// re-hash onto the new member, its share of the catalog is warm.
+func (r *Router) AddMember(id, addr string) error {
+	if r.closed.Load() {
+		return runtime.ErrClosed
+	}
+	ms, err := r.reg.add(Member{ID: id, Addr: addr})
+	if err != nil {
+		return err
+	}
+	// Probe synchronously so routing starts from real state, not the
+	// optimistic default.
+	r.reg.probe(ms)
+	models := r.Models()
+	r.mu.RLock()
+	prev := r.ring
+	r.mu.RUnlock()
+	next := prev.Clone()
+	next.Add(ms.ID)
+	r.rebalances.Add(1)
+	r.prewarmAll(ownershipDelta(models, prev, next, r.cfg.Replication))
+	r.mu.Lock()
+	// Re-clone from the CURRENT ring in case a concurrent membership
+	// change landed while we pre-warmed: only this member's points are
+	// added, nothing else is rolled back.
+	current := r.ring.Clone()
+	current.Add(ms.ID)
+	r.ring = current
+	r.mu.Unlock()
+	return nil
+}
+
+// RemoveMember leaves a node from the cluster. The ring swaps first —
+// the node may already be dead, and routing to it helps nobody — then
+// the owners promoted by the shrink are pre-warmed from the survivors.
+func (r *Router) RemoveMember(id string) error {
+	if r.closed.Load() {
+		return runtime.ErrClosed
+	}
+	if r.reg.get(id) == nil {
+		return fmt.Errorf("cluster: no member %q", id)
+	}
+	models := r.Models()
+	r.mu.Lock()
+	prev := r.ring
+	next := prev.Clone()
+	next.Remove(id)
+	r.ring = next
+	r.mu.Unlock()
+	r.reg.remove(id)
+	r.rebalances.Add(1)
+	r.prewarmAll(ownershipDelta(models, prev, next, r.cfg.Replication))
+	return nil
+}
+
+// onMemberDown is the registry's post-hysteresis down callback: the
+// ring keeps the member (it usually comes back — that is what the
+// hysteresis is for), but its co-owners are pre-warmed in the
+// background so the failover traffic they are about to absorb hits
+// warm RAM. Runs from a probe goroutine; the work is handed to a
+// bg-tracked goroutine immediately.
+func (r *Router) onMemberDown(id string) {
+	if r.closed.Load() {
+		return
+	}
+	r.bg.Add(1)
+	go func() {
+		defer r.bg.Done()
+		models := r.Models()
+		r.mu.RLock()
+		ring := r.ring
+		r.mu.RUnlock()
+		var tasks []prewarmTask
+		for _, mi := range models {
+			name, _ := runtime.SplitRef(mi.Name)
+			owners := ring.Owners(name, r.cfg.Replication)
+			hit := false
+			for _, o := range owners {
+				hit = hit || o == id
+			}
+			if !hit {
+				continue
+			}
+			for _, o := range owners {
+				if o != id {
+					tasks = append(tasks, prewarmTask{model: mi, target: o, sources: owners})
+				}
+			}
+		}
+		if len(tasks) == 0 {
+			return
+		}
+		r.rebalances.Add(1)
+		r.prewarmAll(tasks)
+	}()
+}
+
+// prewarmAll drains the pre-warm work list through a bounded worker
+// pool, staggering launches so a membership change warms the fleet
+// gradually instead of stampeding every disk at once.
+func (r *Router) prewarmAll(tasks []prewarmTask) {
+	if len(tasks) == 0 || r.cfg.HashOnly {
+		return
+	}
+	workers := r.cfg.PrewarmConcurrency
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	feed := make(chan prewarmTask)
+	done := make(chan struct{})
+	for i := 0; i < workers; i++ {
+		go func() {
+			for t := range feed {
+				r.prewarmOne(t)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i, t := range tasks {
+		if r.closed.Load() {
+			break
+		}
+		if i > 0 && r.cfg.PrewarmStagger > 0 {
+			time.Sleep(r.cfg.PrewarmStagger)
+		}
+		feed <- t
+	}
+	close(feed)
+	for i := 0; i < workers; i++ {
+		<-done
+	}
+}
+
+// prewarmOne makes one member hold one model warm: replicate any
+// missing versions from a source owner, copy labels, then load the
+// model into RAM through the warm endpoint.
+func (r *Router) prewarmOne(t prewarmTask) {
+	target := r.reg.get(t.target)
+	if target == nil || !target.healthy.Load() {
+		return
+	}
+	name, _ := runtime.SplitRef(t.model.Name)
+	held := r.heldVersions(target, name)
+	for _, vi := range t.model.Versions {
+		if held[vi.Version] {
+			continue
+		}
+		zip := r.fetchZip(name, vi.Version, t.sources, t.target)
+		if zip == nil {
+			r.prewarmErrs.Add(1)
+			continue
+		}
+		u := target.Addr + "/models?name=" + url.QueryEscape(name) + "&version=" + strconv.Itoa(vi.Version)
+		resp, err := r.opDo(http.MethodPost, u, "application/zip", zip)
+		if err != nil {
+			r.prewarmErrs.Add(1)
+			continue
+		}
+		resp.Body.Close()
+		// 201 = installed; 409 = already published there (a racing
+		// upload or an earlier partial rebalance): both mean the bytes
+		// are on the target.
+		if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusConflict {
+			r.prewarmErrs.Add(1)
+		}
+	}
+	for label, v := range t.model.Labels {
+		body := []byte(fmt.Sprintf(`{"label":%q,"version":%d}`, label, v))
+		if resp, err := r.opDo(http.MethodPost, target.Addr+"/models/"+url.PathEscape(name)+"/labels", "application/json", body); err == nil {
+			resp.Body.Close()
+		}
+	}
+	resp, err := r.opDo(http.MethodPost, target.Addr+"/models/"+url.PathEscape(name)+"/warm", "", nil)
+	if err != nil {
+		r.prewarmErrs.Add(1)
+		return
+	}
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusNotImplemented:
+		// 501: the member has no lifecycle tier — whatever it holds is
+		// already resident, so the pre-warm goal is met.
+		r.prewarms.Add(1)
+	default:
+		r.prewarmErrs.Add(1)
+	}
+}
+
+// heldVersions lists the versions a member already holds for a model
+// (empty on any failure: replication re-sends and 409s are tolerated).
+func (r *Router) heldVersions(m *memberState, name string) map[int]bool {
+	held := make(map[int]bool)
+	resp, err := r.opDo(http.MethodGet, m.Addr+"/models/"+url.PathEscape(name), "", nil)
+	if err != nil {
+		return held
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return held
+	}
+	var info runtime.ModelInfo
+	if json.NewDecoder(resp.Body).Decode(&info) != nil {
+		return held
+	}
+	for _, vi := range info.Versions {
+		held[vi.Version] = true
+	}
+	return held
+}
+
+// fetchZip pulls one version's zip bytes from the first source owner
+// that can export it (skipping the target itself and down members).
+func (r *Router) fetchZip(name string, version int, sources []string, target string) []byte {
+	for _, id := range sources {
+		if id == target {
+			continue
+		}
+		src := r.reg.get(id)
+		if src == nil || !src.healthy.Load() {
+			continue
+		}
+		u := src.Addr + "/models/" + url.PathEscape(name) + "/zip?version=" + strconv.Itoa(version)
+		resp, err := r.opDo(http.MethodGet, u, "", nil)
+		if err != nil {
+			continue
+		}
+		raw, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil || resp.StatusCode != http.StatusOK || len(raw) == 0 {
+			continue
+		}
+		return raw
+	}
+	return nil
+}

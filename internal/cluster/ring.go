@@ -97,6 +97,21 @@ func (r *Ring) Remove(node string) {
 	r.points = kept
 }
 
+// Clone returns an independent copy of the ring — the rebalancer
+// computes ownership deltas on a clone and swaps it in atomically, so
+// routing never observes a half-updated circle.
+func (r *Ring) Clone() *Ring {
+	c := &Ring{
+		vnodes: r.vnodes,
+		points: append([]ringPoint(nil), r.points...),
+		nodes:  make(map[string]bool, len(r.nodes)),
+	}
+	for n := range r.nodes {
+		c.nodes[n] = true
+	}
+	return c
+}
+
 // Len returns the member count.
 func (r *Ring) Len() int { return len(r.nodes) }
 

@@ -71,6 +71,28 @@ type Config struct {
 	// (the loser is canceled, its outcome never feeds the breakers).
 	// Tail-latency insurance: set it near the fault-free p99.
 	HedgeDelay time.Duration
+	// WarmthInterval is the warmth-map poll period: each member's
+	// lifecycle state (GET /models) and residency-vs-budget (/statz)
+	// feed placement scoring (0 = 1s; negative disables the poll loop —
+	// placement degrades to health + hash order).
+	WarmthInterval time.Duration
+	// HashOnly disables the placement plane: owners are tried in pure
+	// ring order (health still reorders) and membership changes do NOT
+	// pre-warm — the pre-placement router, kept as the baseline the
+	// churn experiment measures against. The warmth map keeps polling
+	// for observability, so both modes report the same counters.
+	HashOnly bool
+	// ProbeFailures is the health-probe hysteresis: a member is marked
+	// down only after this many CONSECUTIVE failed probe rounds, so one
+	// slow probe does not flap routing or trigger a rebalance (0 = 2;
+	// 1 disables damping).
+	ProbeFailures int
+	// PrewarmConcurrency caps concurrent pre-warm loads during a
+	// rebalance (0 = 2); PrewarmStagger is slept between launches so a
+	// membership change warms the fleet gradually instead of stampeding
+	// every disk at once (0 = 25ms; negative disables the stagger).
+	PrewarmConcurrency int
+	PrewarmStagger     time.Duration
 	// Client is the HTTP client used for proxying and probes (nil = a
 	// client with pooled connections and no global timeout — request
 	// bounds come from the per-call timeouts above).
@@ -102,6 +124,21 @@ type Router struct {
 	hedges    atomic.Uint64
 	hedgeWins atomic.Uint64
 
+	// Placement-plane counters: predicts routed to known-warm vs
+	// known-cold replicas, membership changes absorbed, and pre-warm
+	// load outcomes.
+	warmRouted  atomic.Uint64
+	coldRouted  atomic.Uint64
+	rebalances  atomic.Uint64
+	prewarms    atomic.Uint64
+	prewarmErrs atomic.Uint64
+
+	// warmthStop ends the warmth poll loop; bg tracks it plus the
+	// rebalancer's background pre-warm goroutines so Close leaves zero
+	// goroutines behind.
+	warmthStop chan struct{}
+	bg         sync.WaitGroup
+
 	closed atomic.Bool
 }
 
@@ -122,9 +159,8 @@ func NewRouter(members []Member, cfg Config) (*Router, error) {
 	if cfg.Replication <= 0 {
 		cfg.Replication = 2
 	}
-	if cfg.Replication > len(members) {
-		cfg.Replication = len(members)
-	}
+	// Replication is deliberately NOT clamped to the initial member
+	// count: membership is dynamic, and Owners clamps per-lookup.
 	if cfg.ForwardTimeout <= 0 {
 		cfg.ForwardTimeout = 30 * time.Second
 	}
@@ -143,12 +179,21 @@ func NewRouter(members []Member, cfg Config) (*Router, error) {
 	if cfg.RetryBackoffMax <= 0 {
 		cfg.RetryBackoffMax = 250 * time.Millisecond
 	}
+	if cfg.WarmthInterval == 0 {
+		cfg.WarmthInterval = time.Second
+	}
+	if cfg.PrewarmConcurrency <= 0 {
+		cfg.PrewarmConcurrency = 2
+	}
+	if cfg.PrewarmStagger == 0 {
+		cfg.PrewarmStagger = 25 * time.Millisecond
+	}
 	if cfg.Client == nil {
 		tr := http.DefaultTransport.(*http.Transport).Clone()
 		tr.MaxIdleConnsPerHost = 128
 		cfg.Client = &http.Client{Transport: tr}
 	}
-	reg, err := newRegistry(members, cfg.Client, cfg.ProbeInterval, cfg.BreakerThreshold, cfg.BreakerCooldown)
+	reg, err := newRegistry(members, cfg.Client, cfg.ProbeInterval, cfg.ProbeFailures, cfg.BreakerThreshold, cfg.BreakerCooldown)
 	if err != nil {
 		return nil, err
 	}
@@ -156,7 +201,22 @@ func NewRouter(members []Member, cfg Config) (*Router, error) {
 	for _, m := range reg.all() {
 		ring.Add(m.ID)
 	}
-	return &Router{cfg: cfg, reg: reg, ring: ring, resolved: make(map[string]resolveEntry)}, nil
+	rt := &Router{
+		cfg:        cfg,
+		reg:        reg,
+		ring:       ring,
+		resolved:   make(map[string]resolveEntry),
+		warmthStop: make(chan struct{}),
+	}
+	// Wire the down-callback before the probe loop starts: a member that
+	// fails its first probes must still trigger co-owner pre-warming.
+	reg.onDown = rt.onMemberDown
+	reg.start()
+	if cfg.WarmthInterval > 0 {
+		rt.bg.Add(1)
+		go rt.warmthLoop()
+	}
+	return rt, nil
 }
 
 // Owners returns the member IDs owning a model reference, primary
@@ -237,29 +297,6 @@ func finalErr(model string, attempts int, last error) error {
 	return fmt.Errorf("%w: all %d replicas of %q failed: %v", runtime.ErrOverloaded, attempts, model, last)
 }
 
-// routeOrder returns the owners to try, in order: probed-healthy and
-// ready replicas first (ring order within each class), then the rest —
-// the registry's probe state steers traffic away from nodes known to
-// be down or draining, but never blacks out a model whose every owner
-// looks unhealthy (probes can be stale; the breaker absorbs the rest).
-func routeOrder(owners []*memberState) []*memberState {
-	ordered := make([]*memberState, 0, len(owners))
-	for _, m := range owners {
-		if m.healthy.Load() && m.ready.Load() {
-			ordered = append(ordered, m)
-		}
-	}
-	if len(ordered) == len(owners) {
-		return owners
-	}
-	for _, m := range owners {
-		if !(m.healthy.Load() && m.ready.Load()) {
-			ordered = append(ordered, m)
-		}
-	}
-	return ordered
-}
-
 // noteOutcome feeds one attempt's outcome to the member's circuit
 // breaker. Cancellation is breaker-neutral: a hedge loser canceled
 // because its sibling won (or a caller who walked away) says nothing
@@ -333,7 +370,8 @@ func (r *Router) Predict(ctx context.Context, model, input string, opts serving.
 	if len(owners) == 0 {
 		return nil, fmt.Errorf("%w: no cluster members", serving.ErrNotReady)
 	}
-	owners = routeOrder(owners)
+	name, _ := runtime.SplitRef(model)
+	owners = r.routeOrder(name, owners)
 	// next rotates through the route order so consecutive attempts (and
 	// the hedge backup) land on different replicas whenever possible.
 	next := 0
@@ -359,6 +397,9 @@ func (r *Router) Predict(ctx context.Context, model, input string, opts serving.
 		m := pick()
 		if m == nil {
 			break
+		}
+		if attempts == 0 {
+			r.noteRouteWarmth(m, name)
 		}
 		if attempts > 0 {
 			r.retries.Add(1)
@@ -611,8 +652,9 @@ func (r *Router) opDo(method, url, contentType string, body []byte) (*http.Respo
 		return nil, err
 	}
 	// Read the (bounded) body inside the timeout and hand back a
-	// replayable response.
-	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	// replayable response. The bound matches the default upload limit:
+	// zip exports travel through here during rebalances.
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	resp.Body.Close()
 	resp.Body = io.NopCloser(bytes.NewReader(raw))
 	return resp, nil
@@ -807,7 +849,7 @@ func (r *Router) Models() []runtime.ModelInfo {
 // replica that answers.
 func (r *Router) ModelInfo(name string) (runtime.ModelInfo, error) {
 	var lastErr error
-	for _, m := range routeOrder(r.owners(name)) {
+	for _, m := range r.routeOrder(name, r.owners(name)) {
 		resp, err := r.opDo(http.MethodGet, m.Addr+"/models/"+url.PathEscape(name), "", nil)
 		if err != nil {
 			lastErr = fmt.Errorf("node %s: %w", m.ID, err)
@@ -915,20 +957,28 @@ func (r *Router) resolveRemote(ref string) (string, int, error) {
 // forwarding counters and every node's health, breaker and traffic.
 func (r *Router) Stats() serving.Stats {
 	now := time.Now()
+	r.mu.RLock()
+	vnodes := r.ring.VNodes()
+	r.mu.RUnlock()
 	cs := &serving.ClusterStats{
 		Replication: r.cfg.Replication,
-		VNodes:      r.ring.VNodes(),
+		VNodes:      vnodes,
 		Forwards:    r.forwards.Load(),
 		Failovers:   r.failovers.Load(),
 		Retries:     r.retries.Load(),
 		Hedges:      r.hedges.Load(),
 		HedgeWins:   r.hedgeWins.Load(),
+		WarmRouted:  r.warmRouted.Load(),
+		ColdRouted:  r.coldRouted.Load(),
+		Rebalances:  r.rebalances.Load(),
+		Prewarms:    r.prewarms.Load(),
+		PrewarmErrs: r.prewarmErrs.Load(),
 	}
 	members := r.reg.all()
 	sort.Slice(members, func(i, j int) bool { return members[i].ID < members[j].ID })
 	for _, m := range members {
 		lastErr, _ := m.lastErr.Load().(string)
-		cs.Nodes = append(cs.Nodes, serving.NodeStats{
+		ns := serving.NodeStats{
 			ID:       m.ID,
 			Addr:     m.Addr,
 			Healthy:  m.healthy.Load(),
@@ -937,7 +987,27 @@ func (r *Router) Stats() serving.Stats {
 			Forwards: m.forwards.Load(),
 			Failures: m.failures.Load(),
 			LastErr:  lastErr,
-		})
+		}
+		if q, _ := m.quarantined.Load().(map[string]bool); len(q) > 0 {
+			names := make([]string, 0, len(q))
+			for name := range q {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			ns.Quarantined = names
+		}
+		if w := m.warmthSnapshot(); w != nil {
+			ns.WarmModels = w.warm
+			ns.ColdModels = w.cold
+			ns.ResidentBytes = w.residentBytes
+			ns.BudgetBytes = w.budgetBytes
+			ns.ColdLoads = w.coldLoads
+			ns.Saturated = w.saturated()
+			cs.ResidentBytes += w.residentBytes
+			cs.BudgetBytes += w.budgetBytes
+			cs.ColdLoads += w.coldLoads
+		}
+		cs.Nodes = append(cs.Nodes, ns)
 	}
 	return serving.Stats{Kind: "router", Cluster: cs}
 }
@@ -955,13 +1025,17 @@ func (r *Router) Ready() error {
 	return fmt.Errorf("%w: no healthy cluster node", serving.ErrNotReady)
 }
 
-// Close stops the health checker. Nodes are not touched: the router
-// is a stateless tier over them.
+// Close stops the health checker, the warmth poll and any background
+// pre-warming. Nodes are not touched: the router is a stateless tier
+// over them. Order matters: the registry closes before bg.Wait because
+// onDown (which bg.Adds) runs inside registry-tracked probe goroutines.
 func (r *Router) Close() error {
 	if !r.closed.CompareAndSwap(false, true) {
 		return nil
 	}
+	close(r.warmthStop)
 	r.reg.close()
+	r.bg.Wait()
 	r.cfg.Client.CloseIdleConnections()
 	return nil
 }

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"pretzel/internal/oven"
+	"pretzel/internal/repo"
 	"pretzel/internal/runtime"
 	"pretzel/internal/serving"
 )
@@ -108,6 +109,11 @@ func New(eng serving.Engine, cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /models/{name}", s.handleModelDelete)
 	s.mux.HandleFunc("POST /models/{name}/labels", s.handleSetLabel)
 	s.mux.HandleFunc("POST /models/{name}/pin", s.handleModelPin)
+	s.mux.HandleFunc("POST /models/{name}/warm", s.handleModelWarm)
+	s.mux.HandleFunc("GET /models/{name}/zip", s.handleModelZip)
+	s.mux.HandleFunc("GET /cluster/members", s.handleMembersGet)
+	s.mux.HandleFunc("POST /cluster/members", s.handleMemberAdd)
+	s.mux.HandleFunc("DELETE /cluster/members", s.handleMemberRemove)
 	s.mux.HandleFunc("GET /statz", s.handleStatz)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -199,6 +205,12 @@ func statusFor(err error) int {
 		// The model is shedding while its panic quarantine lapses; the
 		// node itself is healthy. 503 + Retry-After steers clients (and
 		// the cluster router's failover) elsewhere meanwhile.
+		return http.StatusServiceUnavailable
+	case errors.Is(err, repo.ErrStorage):
+		// The disk under the model repository failed the operation
+		// (full, read-only, …): a node-level condition clients should
+		// retry elsewhere — and never a 409 that reads like "this
+		// version already exists".
 		return http.StatusServiceUnavailable
 	case errors.Is(err, runtime.ErrClosed), errors.Is(err, serving.ErrNotReady):
 		return http.StatusServiceUnavailable

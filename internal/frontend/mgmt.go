@@ -9,6 +9,11 @@
 //	POST   /models               register from an uploaded zip
 //	DELETE /models/{name}        unregister (name, name@version, name@label)
 //	POST   /models/{name}/labels move a label (hot swap)
+//	POST   /models/{name}/warm   load the model into serving RAM now
+//	GET    /models/{name}/zip    export one version's zip (?version=N)
+//	GET    /cluster/members      list cluster member IDs (router only)
+//	POST   /cluster/members      join a node: {"id","addr"} (router only)
+//	DELETE /cluster/members?id=  leave a node (router only)
 //	GET    /statz                engine / batcher / cache stats
 //	GET    /healthz              liveness probe
 //	GET    /readyz               readiness probe (cluster health checks)
@@ -27,6 +32,7 @@ import (
 	"strconv"
 	"time"
 
+	"pretzel/internal/repo"
 	"pretzel/internal/runtime"
 	"pretzel/internal/serving"
 )
@@ -127,7 +133,8 @@ func (s *Server) handleModelUpload(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		if errors.Is(err, serving.ErrBadModel) || errors.Is(err, runtime.ErrInvalidInput) ||
 			errors.Is(err, runtime.ErrModelNotFound) || errors.Is(err, runtime.ErrOverloaded) ||
-			errors.Is(err, runtime.ErrClosed) || errors.Is(err, serving.ErrNotReady) {
+			errors.Is(err, runtime.ErrClosed) || errors.Is(err, serving.ErrNotReady) ||
+			errors.Is(err, repo.ErrStorage) {
 			// Typed failures keep their proper status — in particular an
 			// unavailable engine (closed runtime, unreachable owner
 			// nodes) is 503, not a bogus "conflict" the client would
@@ -211,6 +218,137 @@ func (s *Server) handleModelPin(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"name": name, "pinned": req.Pinned})
+}
+
+// warmer is the optional lifecycle capability behind POST
+// /models/{name}/warm: load a repository-managed model into RAM now
+// (the cluster rebalancer's pre-warm hook). Engines without a
+// lifecycle tier answer 501 — whatever they hold is already resident.
+type warmer interface {
+	Warm(name string) error
+}
+
+// handleModelWarm synchronously loads one model into serving RAM, so a
+// caller (a rebalancing router, an operator before a launch) knows the
+// first real request will not pay the cold start.
+func (s *Server) handleModelWarm(w http.ResponseWriter, r *http.Request) {
+	wm, ok := s.eng.(warmer)
+	if !ok {
+		writeErr(w, fmt.Errorf("%w: no lifecycle manager attached", serving.ErrUnsupported))
+		return
+	}
+	name, _ := runtime.SplitRef(r.PathValue("name"))
+	if err := wm.Warm(name); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"name": name, "warm": true})
+}
+
+// zipExporter is the optional capability behind GET
+// /models/{name}/zip: read one installed version's zip bytes back out
+// of the repository (integrity-verified) for replication to another
+// node.
+type zipExporter interface {
+	ExportVersion(name string, version int) ([]byte, error)
+}
+
+// handleModelZip streams one version's model zip, the replication
+// source for cluster rebalancing. The version query parameter is
+// required: replication always targets a concrete version, and
+// guessing "latest" here could silently copy the wrong bytes.
+func (s *Server) handleModelZip(w http.ResponseWriter, r *http.Request) {
+	ze, ok := s.eng.(zipExporter)
+	if !ok {
+		writeErr(w, fmt.Errorf("%w: no model repository attached", serving.ErrUnsupported))
+		return
+	}
+	name, _ := runtime.SplitRef(r.PathValue("name"))
+	version, err := strconv.Atoi(r.URL.Query().Get("version"))
+	if err != nil || version <= 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "version query parameter required"})
+		return
+	}
+	raw, err := ze.ExportVersion(name, version)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/zip")
+	w.Header().Set("Content-Length", strconv.Itoa(len(raw)))
+	_, _ = w.Write(raw)
+}
+
+// memberAdmin is the optional cluster-membership capability behind the
+// /cluster/members endpoints: only a routing engine (or middleware
+// over one) can join and leave nodes.
+type memberAdmin interface {
+	AddMember(id, addr string) error
+	RemoveMember(id string) error
+}
+
+// MemberRequest is the POST /cluster/members body.
+type MemberRequest struct {
+	ID   string `json:"id,omitempty"`
+	Addr string `json:"addr"`
+}
+
+// handleMembersGet lists the cluster's member IDs — on a routing
+// engine the per-node view already lives in /statz, so this is the
+// cheap membership check scripts poll during churn drills.
+func (s *Server) handleMembersGet(w http.ResponseWriter, r *http.Request) {
+	st := s.eng.Stats()
+	if st.Cluster == nil {
+		writeErr(w, fmt.Errorf("%w: not a routing engine", serving.ErrUnsupported))
+		return
+	}
+	ids := make([]string, 0, len(st.Cluster.Nodes))
+	for _, n := range st.Cluster.Nodes {
+		ids = append(ids, n.ID)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"members": ids})
+}
+
+// handleMemberAdd joins a node to the cluster. The call returns after
+// the rebalancer pre-warmed the new member's share of the catalog and
+// swapped the ring: a 200 means traffic is already flowing warm.
+func (s *Server) handleMemberAdd(w http.ResponseWriter, r *http.Request) {
+	ma, ok := s.eng.(memberAdmin)
+	if !ok {
+		writeErr(w, fmt.Errorf("%w: not a routing engine", serving.ErrUnsupported))
+		return
+	}
+	var req MemberRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Addr == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "body must be {\"addr\": \"host:port\"} (id optional)"})
+		return
+	}
+	if err := ma.AddMember(req.ID, req.Addr); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"added": req.Addr})
+}
+
+// handleMemberRemove leaves a node from the cluster. The member ID
+// rides in the ?id= query parameter — IDs default to full base URLs,
+// and slashes do not survive a path segment.
+func (s *Server) handleMemberRemove(w http.ResponseWriter, r *http.Request) {
+	ma, ok := s.eng.(memberAdmin)
+	if !ok {
+		writeErr(w, fmt.Errorf("%w: not a routing engine", serving.ErrUnsupported))
+		return
+	}
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "id query parameter required"})
+		return
+	}
+	if err := ma.RemoveMember(id); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"removed": id})
 }
 
 // Statz is the GET /statz body: the server-wide white-box counters —

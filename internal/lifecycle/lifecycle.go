@@ -308,7 +308,10 @@ func (m *Manager) doLoad(e *managed, allowEvict bool) error {
 				continue
 			}
 		}
-		badErr = fmt.Errorf("%w: %s@%d: %v", serving.ErrBadModel, v.Name, v.Version, err)
+		// Double-wrap: callers branch on serving.ErrBadModel, and the
+		// cause (e.g. repo.ErrCorruptModel) must stay errors.Is-able
+		// through the negative cache.
+		badErr = fmt.Errorf("%w: %s@%d: %w", serving.ErrBadModel, v.Name, v.Version, err)
 		m.loadErrs.Add(1)
 	}
 	if len(imps) == 0 {
@@ -328,7 +331,7 @@ func (m *Manager) doLoad(e *managed, allowEvict bool) error {
 			}
 		}
 		if err != nil {
-			badErr = fmt.Errorf("%w: %s@%d: %v", serving.ErrBadModel, e.name, im.version, err)
+			badErr = fmt.Errorf("%w: %s@%d: %w", serving.ErrBadModel, e.name, im.version, err)
 			m.loadErrs.Add(1)
 			continue
 		}
@@ -917,6 +920,54 @@ func (m *Manager) unregisterRelease(e *managed, ref string) error {
 	m.mu.Unlock()
 	m.resident.Add(-delta)
 	return nil
+}
+
+// Warm makes a repository-managed model resident without serving a
+// request: the pre-warm primitive behind POST /models/{name}/warm. A
+// model that is already warm is a cheap no-op (plus an LRU touch, so a
+// freshly pre-warmed model is not the next eviction victim); a cold
+// one takes the same single-flight load path a predict would, with the
+// same negative-cache fast-fail for known-bad models.
+func (m *Manager) Warm(name string) error {
+	e := m.lookup(name)
+	if e == nil {
+		return fmt.Errorf("%w: %q is not repository-managed", runtime.ErrModelNotFound, name)
+	}
+	m.mu.RLock()
+	warm := e.state == StateWarm
+	m.mu.RUnlock()
+	if warm {
+		m.touch(e)
+		return nil
+	}
+	m.loadMu.Lock()
+	defer m.loadMu.Unlock()
+	m.mu.RLock()
+	warm = e.state == StateWarm
+	badErr, badUntil := e.badErr, e.badUntil
+	m.mu.RUnlock()
+	if warm {
+		m.touch(e)
+		return nil
+	}
+	if badErr != nil && time.Now().Before(badUntil) {
+		return badErr
+	}
+	return m.loadLocked(e, true)
+}
+
+// ExportVersion reads one published version's zip bytes back out of
+// the repository (integrity-verified), so a rebalancer can replicate a
+// model to a new owner without keeping the original upload around.
+func (m *Manager) ExportVersion(name string, version int) ([]byte, error) {
+	b, err := m.repo.Read(name, version)
+	if err == nil {
+		return b, nil
+	}
+	if errors.Is(err, repo.ErrCorruptModel) {
+		return nil, err
+	}
+	return nil, fmt.Errorf("%w: %s@%d", runtime.ErrModelNotFound, name, version)
 }
 
 // Pin marks a model exempt from (pinned=true) or subject to

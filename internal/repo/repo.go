@@ -19,7 +19,10 @@
 package repo
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -36,6 +39,28 @@ const zipName = "model.zip"
 
 // labelsName is the per-model persisted label map.
 const labelsName = "labels.json"
+
+// manifestName is the per-version integrity manifest written at Put.
+const manifestName = "manifest.json"
+
+// ErrCorruptModel reports a published version whose bytes no longer
+// match the checksum recorded at publish time (bit rot, a truncated
+// rsync, a hostile edit). Read callers — the lifecycle loader in
+// particular — treat it like any other bad version: skip it, count it,
+// negative-cache the model if nothing loadable remains.
+var ErrCorruptModel = errors.New("repo: corrupt model")
+
+// ErrStorage reports a write-side failure of the repository itself
+// (disk full, permissions, a path turned into a file): the upload was
+// fine, the storage tier is not. Surfaces as HTTP 503 — retryable —
+// rather than a conflict or an internal error.
+var ErrStorage = errors.New("repo: storage failure")
+
+// manifest is the integrity record stored next to each published zip.
+type manifest struct {
+	SHA256 string `json:"sha256"`
+	Bytes  int64  `json:"bytes"`
+}
 
 // Entry describes one published model version on disk.
 type Entry struct {
@@ -99,6 +124,11 @@ func (r *Repo) zipPath(name string, version int) string {
 // legacyPath returns the flat-layout path of a model ("<root>/<name>.zip").
 func (r *Repo) legacyPath(name string) string {
 	return filepath.Join(r.root, name+".zip")
+}
+
+// manifestPath returns the integrity manifest path of one version.
+func (r *Repo) manifestPath(name string, version int) string {
+	return filepath.Join(r.root, name, strconv.Itoa(version), manifestName)
 }
 
 // Scan walks the repository and returns every published version,
@@ -204,14 +234,18 @@ func (r *Repo) Versions(name string) ([]Entry, error) {
 	return []Entry{{Name: name, Version: 1, Path: r.legacyPath(name), Bytes: fi.Size(), ModTime: fi.ModTime()}}, nil
 }
 
-// Read returns the zip bytes of one published version.
+// Read returns the zip bytes of one published version, verified
+// against the checksum recorded at Put. A version whose bytes no
+// longer match fails with ErrCorruptModel; versions published behind
+// the repository's back (rsync'd, legacy flat zips) carry no manifest
+// and are returned unverified.
 func (r *Repo) Read(name string, version int) ([]byte, error) {
 	if err := validName(name); err != nil {
 		return nil, err
 	}
 	b, err := os.ReadFile(r.zipPath(name, version))
 	if err == nil {
-		return b, nil
+		return b, r.verify(name, version, b)
 	}
 	if version == 1 {
 		if lb, lerr := os.ReadFile(r.legacyPath(name)); lerr == nil {
@@ -219,6 +253,24 @@ func (r *Repo) Read(name string, version int) ([]byte, error) {
 		}
 	}
 	return nil, fmt.Errorf("repo: %s@%d: %w", name, version, err)
+}
+
+// verify checks zip bytes against the version's manifest (missing or
+// unparseable manifest = externally published, nothing to check).
+func (r *Repo) verify(name string, version int, zip []byte) error {
+	raw, err := os.ReadFile(r.manifestPath(name, version))
+	if err != nil {
+		return nil
+	}
+	var m manifest
+	if json.Unmarshal(raw, &m) != nil || m.SHA256 == "" {
+		return nil
+	}
+	sum := sha256.Sum256(zip)
+	if got := hex.EncodeToString(sum[:]); got != m.SHA256 {
+		return fmt.Errorf("%w: %s@%d: sha256 %s, manifest records %s", ErrCorruptModel, name, version, got, m.SHA256)
+	}
+	return nil
 }
 
 // Put publishes zip bytes as one version of a model and returns its
@@ -238,7 +290,7 @@ func (r *Repo) Put(name string, version int, zip []byte) (Entry, error) {
 	if version <= 0 {
 		vs, err := r.Versions(name)
 		if err != nil {
-			return Entry{}, err
+			return Entry{}, fmt.Errorf("%w: selecting version of %s: %v", ErrStorage, name, err)
 		}
 		version = 1
 		if n := len(vs); n > 0 {
@@ -248,12 +300,38 @@ func (r *Repo) Put(name string, version int, zip []byte) (Entry, error) {
 		return Entry{}, fmt.Errorf("repo: %s@%d already published", name, version)
 	}
 	vdir := filepath.Join(r.dir(name), strconv.Itoa(version))
+	// Any failure from here on must leave no partial version behind:
+	// the tmp file is removed and the version directory — readers never
+	// saw it, there is no model.zip in it yet — is cleaned up, so a
+	// full disk or broken permissions cost one typed 503, not a corrupt
+	// directory the next Scan trips over.
+	cleanup := func(tmpName string) {
+		if tmpName != "" {
+			os.Remove(tmpName)
+		}
+		if _, err := os.Stat(r.zipPath(name, version)); os.IsNotExist(err) {
+			os.RemoveAll(vdir)
+		}
+	}
+	storageErr := func(op string, err error) (Entry, error) {
+		return Entry{}, fmt.Errorf("%w: %s %s@%d: %v", ErrStorage, op, name, version, err)
+	}
 	if err := os.MkdirAll(vdir, 0o755); err != nil {
-		return Entry{}, fmt.Errorf("repo: %w", err)
+		return storageErr("creating", err)
+	}
+	// The manifest publishes first (atomically): a crash between the
+	// two renames leaves a manifest with no model.zip, which Scan
+	// ignores and the next Put of the same version overwrites.
+	sum := sha256.Sum256(zip)
+	mraw, _ := json.Marshal(manifest{SHA256: hex.EncodeToString(sum[:]), Bytes: int64(len(zip))})
+	if err := atomicWrite(vdir, manifestName, mraw); err != nil {
+		cleanup("")
+		return storageErr("recording manifest of", err)
 	}
 	tmp, err := os.CreateTemp(vdir, ".put-*")
 	if err != nil {
-		return Entry{}, fmt.Errorf("repo: %w", err)
+		cleanup("")
+		return storageErr("staging", err)
 	}
 	if _, err := tmp.Write(zip); err == nil {
 		err = tmp.Sync()
@@ -262,20 +340,43 @@ func (r *Repo) Put(name string, version int, zip []byte) (Entry, error) {
 		err = cerr
 	}
 	if err != nil {
-		os.Remove(tmp.Name())
-		return Entry{}, fmt.Errorf("repo: writing %s@%d: %w", name, version, err)
+		cleanup(tmp.Name())
+		return storageErr("writing", err)
 	}
 	final := r.zipPath(name, version)
 	if err := os.Rename(tmp.Name(), final); err != nil {
-		os.Remove(tmp.Name())
-		return Entry{}, fmt.Errorf("repo: publishing %s@%d: %w", name, version, err)
+		cleanup(tmp.Name())
+		return storageErr("publishing", err)
 	}
 	r.puts.Add(1)
 	fi, err := os.Stat(final)
 	if err != nil {
-		return Entry{}, fmt.Errorf("repo: %w", err)
+		return storageErr("publishing", err)
 	}
 	return Entry{Name: name, Version: version, Path: final, Bytes: fi.Size(), ModTime: fi.ModTime()}, nil
+}
+
+// atomicWrite writes bytes to dir/name via a temp file and rename.
+func atomicWrite(dir, name string, b []byte) error {
+	tmp, err := os.CreateTemp(dir, "."+name+"-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(b); err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
 }
 
 // Delete removes one version (version > 0) or the whole model

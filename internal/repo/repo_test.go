@@ -1,6 +1,7 @@
 package repo
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -208,6 +209,104 @@ func TestPollReportsNewVersions(t *testing.T) {
 	}
 	if !seen["seed@2"] || !seen["fresh@1"] || seen["seed@1"] {
 		t.Fatalf("poll diff wrong: %v", got)
+	}
+}
+
+// TestReadDetectsCorruption: flipping one byte of a published zip on
+// disk must surface as a typed ErrCorruptModel on the next Read — the
+// lifecycle loader feeds that into its skip/negative-cache path
+// instead of handing a silently damaged model to the compiler.
+func TestReadDetectsCorruption(t *testing.T) {
+	r := openTemp(t)
+	e, err := r.Put("sa", 0, []byte("zip-bytes-v1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, err := r.Read("sa", 1); err != nil || string(b) != "zip-bytes-v1" {
+		t.Fatalf("pristine read %q %v", b, err)
+	}
+	// Flip one byte in place.
+	raw, err := os.ReadFile(e.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[0] ^= 0xff
+	if err := os.WriteFile(e.Path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.Read("sa", 1)
+	if !errors.Is(err, ErrCorruptModel) {
+		t.Fatalf("byte flip must surface as ErrCorruptModel, got %v", err)
+	}
+}
+
+// TestReadWithoutManifestUnverified: versions published behind the
+// repository's back (rsync, legacy layouts) carry no manifest and must
+// read cleanly — integrity checking is opt-in via Put.
+func TestReadWithoutManifestUnverified(t *testing.T) {
+	r := openTemp(t)
+	vdir := filepath.Join(r.Root(), "ext", "1")
+	if err := os.MkdirAll(vdir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(vdir, zipName), []byte("external"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if b, err := r.Read("ext", 1); err != nil || string(b) != "external" {
+		t.Fatalf("manifest-less read %q %v", b, err)
+	}
+}
+
+// TestPutWriteFailureCleanup: when the storage layer fails mid-Put
+// (here: the model's directory path is occupied by a regular file, so
+// every write fails with ENOTDIR — works even when tests run as root,
+// unlike permission bits), the error must be typed ErrStorage and the
+// repository must be left with no partial version directory or stray
+// temp files.
+func TestPutWriteFailureCleanup(t *testing.T) {
+	r := openTemp(t)
+	// Occupy the model's directory slot with a plain file.
+	if err := os.WriteFile(filepath.Join(r.Root(), "jam"), []byte("not a dir"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := r.Put("jam", 0, []byte("payload"))
+	if !errors.Is(err, ErrStorage) {
+		t.Fatalf("write failure must surface as ErrStorage, got %v", err)
+	}
+	// Nothing partial left behind: the root still holds exactly the jam
+	// file we planted.
+	dirents, err := os.ReadDir(r.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirents) != 1 || dirents[0].Name() != "jam" || dirents[0].IsDir() {
+		t.Fatalf("failed Put left debris: %v", dirents)
+	}
+	if entries, err := r.Scan(); err != nil || len(entries) != 0 {
+		t.Fatalf("failed Put must be invisible to Scan: %v %v", entries, err)
+	}
+}
+
+// TestPutFailureRemovesPartialVersionDir: a failure after the version
+// directory exists (the staging temp file cannot be created because a
+// file sits where the version directory should be) must remove the
+// partial directory so the version number is reusable.
+func TestPutFailureRemovesPartialVersionDir(t *testing.T) {
+	r := openTemp(t)
+	if _, err := r.Put("m", 1, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	// Occupy version 2's directory slot with a plain file: MkdirAll
+	// fails with ENOTDIR below the model dir.
+	if err := os.WriteFile(filepath.Join(r.Root(), "m", "2"), []byte("squatter"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Put("m", 2, []byte("v2")); !errors.Is(err, ErrStorage) {
+		t.Fatalf("want ErrStorage, got %v", err)
+	}
+	// Version 1 is untouched and still reads verified.
+	if b, err := r.Read("m", 1); err != nil || string(b) != "v1" {
+		t.Fatalf("sibling version damaged: %q %v", b, err)
 	}
 }
 

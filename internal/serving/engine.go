@@ -162,6 +162,27 @@ type ClusterStats struct {
 	Hedges    uint64 `json:"hedges,omitempty"`
 	HedgeWins uint64 `json:"hedge_wins,omitempty"`
 
+	// WarmRouted/ColdRouted split routed predicts by whether warmth-
+	// aware placement found a warm replica to steer to (ColdRouted
+	// requests landed on a replica the warmth map said was cold — the
+	// cold-start storms the rebalancer exists to prevent).
+	WarmRouted uint64 `json:"warm_routed,omitempty"`
+	ColdRouted uint64 `json:"cold_routed,omitempty"`
+	// Rebalances counts ownership recomputations (join/leave/probe-down);
+	// Prewarms counts pre-warm loads issued to members during them, and
+	// PrewarmErrs how many of those failed (the member warms lazily on
+	// first traffic instead).
+	Rebalances  uint64 `json:"rebalances,omitempty"`
+	Prewarms    uint64 `json:"prewarms,omitempty"`
+	PrewarmErrs uint64 `json:"prewarm_errs,omitempty"`
+
+	// ResidentBytes/BudgetBytes/ColdLoads aggregate the members'
+	// lifecycle tiers into one cluster-wide residency and cold-start
+	// view (zero when members run without a lifecycle manager).
+	ResidentBytes int64  `json:"resident_bytes,omitempty"`
+	BudgetBytes   int64  `json:"budget_bytes,omitempty"`
+	ColdLoads     uint64 `json:"cold_loads,omitempty"`
+
 	Nodes []NodeStats `json:"nodes"`
 }
 
@@ -178,6 +199,20 @@ type NodeStats struct {
 	Forwards uint64 `json:"forwards"`
 	Failures uint64 `json:"failures"`
 	LastErr  string `json:"last_err,omitempty"`
+
+	// Warmth-map snapshot (zero values when the member exposes no
+	// lifecycle state or the warmth poller is disabled).
+	WarmModels    int    `json:"warm_models,omitempty"`
+	ColdModels    int    `json:"cold_models,omitempty"`
+	ResidentBytes int64  `json:"resident_bytes,omitempty"`
+	BudgetBytes   int64  `json:"budget_bytes,omitempty"`
+	ColdLoads     uint64 `json:"cold_loads,omitempty"`
+	// Saturated reports residency at or above the member's budget: the
+	// placement scorer deprioritizes cold loads onto saturated members.
+	Saturated bool `json:"saturated,omitempty"`
+	// Quarantined lists models the member currently refuses (panic
+	// quarantine): the scorer steers their traffic to siblings first.
+	Quarantined []string `json:"quarantined,omitempty"`
 }
 
 // Engine is the serving seam: everything the front end needs from a

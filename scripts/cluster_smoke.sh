@@ -5,7 +5,11 @@
 # chaos fault on one node mid-traffic (asserting hedged/retried routed
 # predicts still succeed), kills one node with SIGTERM (exercising
 # graceful shutdown), and asserts the replicated model keeps serving
-# through failover. Run from the repo root:
+# through failover. The churn drill then removes the dead node, joins a
+# fresh node mid-traffic (the rebalancer must pre-warm the model onto
+# it before the ring shifts), SIGTERMs the old owner, and requires
+# >= 99% success with bounded cold loads on the new owner. Run from the
+# repo root:
 #
 #   ./scripts/cluster_smoke.sh
 set -euo pipefail
@@ -58,7 +62,7 @@ log "model: $MODEL"
 "$BIN" -models "$WORK/repo1" -addr 127.0.0.1:7101 -executors 2 -cache 0 -chaos -chaos-seed 7 &
 PIDS+=($!); NODE1=$!
 "$BIN" -models "$WORK/repo2" -addr 127.0.0.1:7102 -executors 2 -cache 0 -chaos -chaos-seed 7 &
-PIDS+=($!)
+PIDS+=($!); NODE2=$!
 # -cache 0: every predict must actually route (a cached result would
 # mask a broken failover path). -hedge-delay: slow owners get a backup
 # request to the other replica.
@@ -139,6 +143,67 @@ log "failover predict ok after node kill: $OUT"
 STATZ=$(curl -fsS http://127.0.0.1:7100/statz)
 echo "$STATZ" | grep -q '"cluster"' || { log "router statz missing cluster view: $STATZ"; exit 1; }
 log "router statz cluster view present"
+
+# Churn drill: membership change under live traffic. The dead node1 is
+# removed from the ring, a fresh node joins mid-traffic (the router
+# must pre-warm the model onto it BEFORE shifting traffic), and then
+# the old owner is SIGTERM'd — leaving the just-joined node as the only
+# replica. Success across the whole drill must stay >= 99%, and the new
+# owner's cold loads must stay bounded (the single pre-warm load, not a
+# per-request storm).
+log "churn drill: remove dead node1, join node4 mid-traffic, kill the old owner"
+# node1 never got an explicit ID, so its ring identity is its URL.
+curl -fsS -X DELETE "http://127.0.0.1:7100/cluster/members?id=http%3A%2F%2F127.0.0.1%3A7101" >/dev/null
+"$BIN" -models "$WORK/repo4" -addr 127.0.0.1:7104 -executors 2 -cache 0 -ram-budget 256M &
+PIDS+=($!)
+wait_ready http://127.0.0.1:7104 "node4"
+
+TOTAL=0; OK=0
+churn_traffic() { # n requests, counted toward the drill's success rate
+  for _ in $(seq 1 "$1"); do
+    TOTAL=$((TOTAL + 1))
+    if OUT=$(predict 2>/dev/null) && echo "$OUT" | grep -q '"prediction"'; then
+      OK=$((OK + 1))
+    fi
+  done
+}
+
+churn_traffic 20
+curl -fsS -X POST -H 'Content-Type: application/json' \
+  -d '{"id":"node4","addr":"127.0.0.1:7104"}' \
+  http://127.0.0.1:7100/cluster/members >/dev/null
+log "node4 joined"
+churn_traffic 30
+
+# The join must have replicated + warmed the model onto node4 already —
+# before the ring shifted traffic to it, not on its first request.
+curl -fsS http://127.0.0.1:7104/models | grep -q "\"$MODEL\"" \
+  || { log "join did not pre-warm $MODEL onto node4"; exit 1; }
+log "node4 holds $MODEL (pre-warmed by the join)"
+
+log "killing node2, the old owner (SIGTERM)"
+kill -TERM "$NODE2"
+# Uncounted recovery window: requests may race the shutdown until the
+# router's probes (with hysteresis) mark node2 down.
+for i in $(seq 1 50); do
+  if OUT=$(predict 2>/dev/null) && echo "$OUT" | grep -q '"prediction"'; then
+    break
+  fi
+  sleep 0.1
+  [ "$i" = 50 ] && { log "predict never recovered after old-owner kill"; exit 1; }
+done
+churn_traffic 50
+
+[ $((OK * 100)) -ge $((TOTAL * 99)) ] \
+  || { log "churn drill success $OK/$TOTAL fell below 99%"; exit 1; }
+log "churn drill success: $OK/$TOTAL predicts"
+
+# Bounded cold loads on the new owner: the pre-warm's single load, not
+# one per request.
+NODE4_STATZ=$(curl -fsS http://127.0.0.1:7104/statz)
+echo "$NODE4_STATZ" | grep -Eq '"cold_loads":[01][,}]' \
+  || { log "node4 cold loads unbounded after churn: $NODE4_STATZ"; exit 1; }
+log "node4 cold loads bounded after churn"
 
 # Restart-recover drill: a standalone node over a persistent model
 # repository. An upload must write through to disk
