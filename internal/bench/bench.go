@@ -236,6 +236,7 @@ func Experiments() []Experiment {
 		{"chaos", "fault containment: panic quarantine + hedged routing under injected faults", runChaosExp},
 		{"longtail", "model storage tier: goodput + cold-start latency vs RAM-budget fraction under Zipf traffic", runLongtail},
 		{"churn", "placement plane: tail latency + success through node kill/join, warm-aware vs hash-only", runChurnExp},
+		{"density", "model density: N final-layer variants on one node, marginal bytes/variant with object + plan store sharing", runDensity},
 	}
 }
 

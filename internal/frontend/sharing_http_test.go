@@ -1,0 +1,100 @@
+package frontend
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"pretzel/internal/runtime"
+	"pretzel/internal/serving"
+	"pretzel/internal/store"
+)
+
+// TestSharingVisibleOverHTTP drives the density story end to end over
+// the management API: uploading a structural twin of a resident model
+// must report near-total dedup on POST /models, split the twin's
+// footprint into unique vs shared bytes on GET /models/{name}, and
+// surface object-store refs/savings and plan-store hits on /statz.
+func TestSharingVisibleOverHTTP(t *testing.T) {
+	rt := runtime.New(store.New(), runtime.Config{Executors: 2})
+	t.Cleanup(rt.Close)
+	fe := New(serving.NewLocal(rt, nil), Config{})
+	srv := httptest.NewServer(fe)
+	defer srv.Close()
+
+	zip, err := saPipe(t, "twin", 0).ExportBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	upload := func(name string) serving.RegisterResult {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/models?name="+name, "application/zip", bytes.NewReader(zip))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var reg serving.RegisterResult
+		if err := json.NewDecoder(resp.Body).Decode(&reg); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("upload %s: code=%d %+v", name, resp.StatusCode, reg)
+		}
+		return reg
+	}
+
+	first := upload("twin-a")
+	if first.NewBytes == 0 {
+		t.Fatalf("first upload reports zero new bytes: %+v", first)
+	}
+	if first.DedupRatio > 0.5 {
+		t.Fatalf("first-of-its-kind upload claims dedup %v", first.DedupRatio)
+	}
+	second := upload("twin-b")
+	if second.SharedBytes == 0 || second.NewBytes >= first.NewBytes {
+		t.Fatalf("twin upload not deduplicated: first=%+v second=%+v", first, second)
+	}
+	if second.DedupRatio <= 0.5 {
+		t.Fatalf("twin upload dedup ratio %v, want > 0.5", second.DedupRatio)
+	}
+
+	// GET /models/{name}: the twin's footprint is almost entirely shared.
+	resp, err := http.Get(srv.URL + "/models/twin-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var detail ModelDetail
+	if err := json.NewDecoder(resp.Body).Decode(&detail); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if detail.SharedBytes == 0 || detail.SharedBytes <= detail.UniqueBytes {
+		t.Fatalf("model detail split unique=%d shared=%d, want mostly shared",
+			detail.UniqueBytes, detail.SharedBytes)
+	}
+
+	// /statz: store-level sharing counters.
+	resp, err = http.Get(srv.URL + "/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Statz
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.ObjectStore.Refs <= uint64(st.ObjectStore.Unique) {
+		t.Fatalf("object store refs %d not above unique %d", st.ObjectStore.Refs, st.ObjectStore.Unique)
+	}
+	if st.ObjectStore.BytesSaved == 0 {
+		t.Fatalf("object store reports no bytes saved: %+v", st.ObjectStore)
+	}
+	if st.PlanStore.Hits == 0 || st.PlanStore.Unique == 0 {
+		t.Fatalf("plan store sharing invisible: %+v", st.PlanStore)
+	}
+	if st.PlanStore.Refs <= uint64(st.PlanStore.Unique) {
+		t.Fatalf("plan store refs %d not above unique %d", st.PlanStore.Refs, st.PlanStore.Unique)
+	}
+}

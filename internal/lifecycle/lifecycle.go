@@ -142,6 +142,12 @@ func New(inner *serving.Local, r *repo.Repo, cfg Config) (*Manager, error) {
 	if cfg.Compile != nil {
 		co = *cfg.Compile
 	}
+	if co.Plans == nil {
+		// Cold loads must intern stages in the same plan store the
+		// serving engine uses, or reloading an evicted variant would
+		// duplicate stages its warm siblings still share.
+		co.Plans = inner.Runtime().PlanStore()
+	}
 	m := &Manager{
 		inner:   inner,
 		rt:      inner.Runtime(),
@@ -327,7 +333,7 @@ func (m *Manager) doLoad(e *managed, allowEvict bool) error {
 		pl, err := oven.Compile(im.pipe, m.rt.ObjectStore(), m.comp)
 		if err == nil {
 			if _, err = m.rt.RegisterVersion(pl, e.name, im.version); err != nil {
-				oven.ReleaseInterned(m.rt.ObjectStore(), pl.Interned)
+				oven.ReleasePlan(m.rt.ObjectStore(), m.comp.Plans, pl)
 			}
 		}
 		if err != nil {
@@ -710,6 +716,7 @@ func (m *Manager) Register(zip []byte, opts serving.RegisterOptions) (serving.Re
 	m.mu.RLock()
 	warm := e.state == StateWarm
 	m.mu.RUnlock()
+	var newBytes int64
 	if warm {
 		// Register just the new version next to the resident ones.
 		est := estimateBytes(p)
@@ -720,7 +727,7 @@ func (m *Manager) Register(zip []byte, opts serving.RegisterOptions) (serving.Re
 			return serving.RegisterResult{}, fmt.Errorf("%w: compiling: %v", serving.ErrBadModel, err)
 		}
 		if _, err := m.rt.RegisterVersion(pl, name, ent.Version); err != nil {
-			oven.ReleaseInterned(m.rt.ObjectStore(), pl.Interned)
+			oven.ReleasePlan(m.rt.ObjectStore(), m.comp.Plans, pl)
 			return serving.RegisterResult{}, err
 		}
 		delta := int64(m.rt.MemBytes() - before)
@@ -728,8 +735,14 @@ func (m *Manager) Register(zip []byte, opts serving.RegisterOptions) (serving.Re
 		e.bytes += delta
 		m.mu.Unlock()
 		m.resident.Add(delta)
-	} else if err := m.loadLocked(e, true); err != nil {
-		return serving.RegisterResult{}, err
+		newBytes = delta
+	} else {
+		if err := m.loadLocked(e, true); err != nil {
+			return serving.RegisterResult{}, err
+		}
+		m.mu.RLock()
+		newBytes = e.bytes // whole-model marginal footprint measured by the load
+		m.mu.RUnlock()
 	}
 	m.touch(e)
 
@@ -739,12 +752,19 @@ func (m *Manager) Register(zip []byte, opts serving.RegisterOptions) (serving.Re
 		}
 	}
 	res := serving.RegisterResult{Name: name, Version: ent.Version}
+	if newBytes > 0 {
+		res.NewBytes = int(newBytes)
+	}
 	if mi, err := m.inner.ModelInfo(name); err == nil {
 		for _, v := range mi.Versions {
 			if v.Version == ent.Version {
 				res.ID = v.ID
 			}
 		}
+		res.SharedBytes = mi.SharedBytes
+	}
+	if total := res.NewBytes + res.SharedBytes; total > 0 {
+		res.DedupRatio = float64(res.SharedBytes) / float64(total)
 	}
 	return res, nil
 }
@@ -1033,7 +1053,7 @@ func (m *Manager) onDiscovered(added []repo.Entry) {
 			err = cerr
 			if err == nil {
 				if _, err = m.rt.RegisterVersion(pl, ent.Name, ent.Version); err != nil {
-					oven.ReleaseInterned(m.rt.ObjectStore(), pl.Interned)
+					oven.ReleasePlan(m.rt.ObjectStore(), m.comp.Plans, pl)
 				}
 			}
 			if err == nil {

@@ -46,6 +46,14 @@ func (tf *TreeFeaturizer) Checksum() uint64 { return tf.Forest.Checksum() ^ 0x7F
 // MemBytes estimates retained heap bytes.
 func (tf *TreeFeaturizer) MemBytes() int { return tf.Forest.MemBytes() + 4*cap(tf.leafBase) }
 
+// WriteContent implements ops.Param. The store's content digest is
+// type-qualified, so delegating to the forest's serialization cannot
+// collide with a plain Forest over the same trees.
+func (tf *TreeFeaturizer) WriteContent(w io.Writer) error {
+	_, err := tf.Forest.WriteTo(w)
+	return err
+}
+
 // MultiClassForest is a one-vs-rest multi-class classifier: one regression
 // forest per class trained on class-membership indicators; Scores returns
 // the per-class probability vector via softmax.
@@ -120,6 +128,13 @@ func (mc *MultiClassForest) MemBytes() int {
 		n += f.MemBytes()
 	}
 	return n
+}
+
+// WriteContent implements ops.Param: the canonical serialized bytes the
+// Object Store's content address is computed over.
+func (mc *MultiClassForest) WriteContent(w io.Writer) error {
+	_, err := mc.WriteTo(w)
+	return err
 }
 
 // WriteTo serializes the classifier.

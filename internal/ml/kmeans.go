@@ -170,6 +170,13 @@ func (k *KMeans) Checksum() uint64 {
 // MemBytes estimates retained heap bytes.
 func (k *KMeans) MemBytes() int { return 32 + 4*cap(k.Centroids) + 4*cap(k.normSq) }
 
+// WriteContent implements ops.Param: the canonical serialized bytes the
+// Object Store's content address is computed over.
+func (k *KMeans) WriteContent(w io.Writer) error {
+	_, err := k.WriteTo(w)
+	return err
+}
+
 // WriteTo serializes the model.
 func (k *KMeans) WriteTo(w io.Writer) (int64, error) {
 	var hdr [8]byte

@@ -167,6 +167,13 @@ func (m *LinearModel) Checksum() uint64 {
 // MemBytes estimates retained heap bytes.
 func (m *LinearModel) MemBytes() int { return 24 + 4*cap(m.Weights) }
 
+// WriteContent implements ops.Param: the canonical serialized bytes the
+// Object Store's content address is computed over.
+func (m *LinearModel) WriteContent(w io.Writer) error {
+	_, err := m.WriteTo(w)
+	return err
+}
+
 // WriteTo serializes the model.
 func (m *LinearModel) WriteTo(w io.Writer) (int64, error) {
 	var n int64

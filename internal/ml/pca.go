@@ -133,6 +133,13 @@ func (p *PCA) Checksum() uint64 {
 // MemBytes estimates retained heap bytes.
 func (p *PCA) MemBytes() int { return 32 + 4*cap(p.Mean) + 4*cap(p.Components) }
 
+// WriteContent implements ops.Param: the canonical serialized bytes the
+// Object Store's content address is computed over.
+func (p *PCA) WriteContent(w io.Writer) error {
+	_, err := p.WriteTo(w)
+	return err
+}
+
 // WriteTo serializes the model.
 func (p *PCA) WriteTo(w io.Writer) (int64, error) {
 	var hdr [8]byte

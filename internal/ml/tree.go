@@ -297,6 +297,13 @@ func (f *Forest) MemBytes() int {
 	return n
 }
 
+// WriteContent implements ops.Param: the canonical serialized bytes the
+// Object Store's content address is computed over.
+func (f *Forest) WriteContent(w io.Writer) error {
+	_, err := f.WriteTo(w)
+	return err
+}
+
 // WriteTo serializes the forest.
 func (f *Forest) WriteTo(w io.Writer) (int64, error) {
 	var n int64

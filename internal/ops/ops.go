@@ -22,11 +22,20 @@ import (
 	"pretzel/internal/vector"
 )
 
-// Param is a shareable parameter object. The Object Store keys parameter
-// objects by (kind, checksum) so identical parameters are stored once.
+// Param is a shareable parameter object. The Object Store identifies
+// parameter objects by a collision-safe content address: the 64-bit
+// Checksum is the fast-path fingerprint, and WriteContent provides the
+// canonical serialized bytes the store's SHA-256 digest — the actual
+// identity — is computed over. Two parameters are interchangeable iff
+// their content bytes are equal; a Checksum collision alone must never
+// intern one model onto another model's weights.
 type Param interface {
 	Checksum() uint64
 	MemBytes() int
+	// WriteContent writes the canonical serialized form of the
+	// parameter. Implementations must be deterministic (equal content
+	// ⇒ equal bytes, regardless of construction order).
+	WriteContent(w io.Writer) error
 }
 
 // Info carries the optimizer-facing annotations of an operator class.

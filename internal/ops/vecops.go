@@ -31,6 +31,10 @@ func (f *Floats) Checksum() uint64 {
 // MemBytes implements Param.
 func (f *Floats) MemBytes() int { return 24 + 4*cap(f.V) }
 
+// WriteContent implements Param: the canonical bytes the Object Store's
+// content address is computed over.
+func (f *Floats) WriteContent(w io.Writer) error { return writeFloats(w, f) }
+
 func writeFloats(w io.Writer, f *Floats) error {
 	var lb [4]byte
 	binary.LittleEndian.PutUint32(lb[:], uint32(len(f.V)))

@@ -1,9 +1,12 @@
 package oven
 
 import (
+	"crypto/sha256"
 	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"math"
 
 	"pretzel/internal/ops"
@@ -26,6 +29,13 @@ type Options struct {
 	// cacheable stages instead of pushing linear models through them,
 	// enabling sub-plan materialization (§4.3).
 	Materialization bool
+
+	// Plans, when non-nil, is the plan store: compiled stages are
+	// interned by structural signature so structurally identical
+	// pipelines share whole physical stages — one kernel, one metrics
+	// block, one materialization identity — not just parameters. Plans
+	// compiled through a store must be released with ReleasePlan.
+	Plans *plan.StageStore
 }
 
 // DefaultOptions returns the standard configuration (AOT on).
@@ -93,7 +103,7 @@ func Compile(p *pipeline.Pipeline, objStore *store.ObjectStore, opts Options) (*
 
 	// Model Plan Compiler: map logical stages to physical kernels and
 	// assemble the plan.
-	pl, err := assemble(p, g, opts)
+	pl, err := assemble(p, g, objStore, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -114,6 +124,103 @@ func ReleaseInterned(objStore *store.ObjectStore, interned []ops.Param) {
 	for _, p := range interned {
 		objStore.Release(p)
 	}
+}
+
+// ReleasePlan returns every shared reference a compiled plan holds:
+// the Object Store parameters AND the plan-store stage references.
+// Once stage sharing is enabled (Options.Plans), every failure-after-
+// Compile, unregister and eviction path must use this instead of
+// ReleaseInterned alone, or shared stages leak in the plan store.
+// Stages that were not interned (nil plans, foreign plans) are skipped
+// by StageStore.Release, so the call is safe for any plan.
+func ReleasePlan(objStore *store.ObjectStore, plans *plan.StageStore, pl *plan.Plan) {
+	if pl == nil {
+		return
+	}
+	ReleaseInterned(objStore, pl.Interned)
+	if plans != nil {
+		for _, s := range pl.Stages {
+			plans.Release(s)
+		}
+	}
+}
+
+// stageSignature computes the structural content signature a compiled
+// stage is interned under in the plan store. It captures everything
+// that makes two compiled stages interchangeable: the physical kernel
+// kind, compile options that shape kernel construction, the fused
+// operator configs, the content of every parameter (via the Object
+// Store's collision-safe digests — canonical instances resolve by
+// identity, without re-serializing megabyte dictionaries), the pushed-
+// through weight block, and the stage's wiring inside the plan.
+func stageSignature(n *snode, inputs []int, objStore *store.ObjectStore, opts Options) plan.Sig {
+	h := sha256.New()
+	var b8 [8]byte
+	writeStr := func(s string) {
+		binary.LittleEndian.PutUint64(b8[:], uint64(len(s)))
+		h.Write(b8[:])
+		io.WriteString(h, s)
+	}
+	writeStr(kernelKindOf(n))
+	flags := byte(0)
+	if opts.AOT {
+		flags |= 1
+	}
+	if opts.Materialization {
+		flags |= 2
+	}
+	if n.materializable {
+		flags |= 4
+	}
+	if n.pushed {
+		flags |= 8
+	}
+	if n.finisher {
+		flags |= 16
+	}
+	h.Write([]byte{flags})
+	binary.LittleEndian.PutUint64(b8[:], uint64(len(n.ops)))
+	h.Write(b8[:])
+	for _, op := range n.ops {
+		writeStr(op.Info().Kind)
+		if cfg, err := json.Marshal(op); err == nil {
+			binary.LittleEndian.PutUint64(b8[:], uint64(len(cfg)))
+			h.Write(b8[:])
+			h.Write(cfg)
+		}
+		for _, p := range op.Params() {
+			var d store.Digest
+			ok := false
+			if objStore != nil {
+				d, ok = objStore.CanonicalDigest(p)
+			}
+			if !ok {
+				d = store.DigestOf(p)
+			}
+			h.Write(d[:])
+		}
+	}
+	if n.pushed {
+		var b4 [4]byte
+		for _, w := range n.pushW {
+			binary.LittleEndian.PutUint32(b4[:], math.Float32bits(w))
+			h.Write(b4[:])
+		}
+		binary.LittleEndian.PutUint32(b4[:], math.Float32bits(n.pushBias))
+		h.Write(b4[:])
+		h.Write([]byte{byte(n.pushLink)})
+	}
+	binary.LittleEndian.PutUint64(b8[:], uint64(n.outCap))
+	h.Write(b8[:])
+	binary.LittleEndian.PutUint64(b8[:], uint64(len(inputs)))
+	h.Write(b8[:])
+	for _, in := range inputs {
+		binary.LittleEndian.PutUint64(b8[:], uint64(int64(in)))
+		h.Write(b8[:])
+	}
+	var sig plan.Sig
+	h.Sum(sig[:0])
+	return sig
 }
 
 // --- Step 4: OutputGraphValidatorStep (6 rules) ---
@@ -417,7 +524,11 @@ func buildKernel(n *snode) (plan.Kernel, error) {
 }
 
 // assemble produces the final plan from the optimized stage graph.
-func assemble(p *pipeline.Pipeline, g *graphIR, opts Options) (*plan.Plan, error) {
+// With a plan store configured (opts.Plans), each stage is interned by
+// structural signature: a structurally identical stage compiled before
+// is reused — its kernel, metrics and materialization identity — and
+// only genuinely new stages are built.
+func assemble(p *pipeline.Pipeline, g *graphIR, objStore *store.ObjectStore, opts Options) (*plan.Plan, error) {
 	order, err := g.topo()
 	if err != nil {
 		return nil, err
@@ -437,46 +548,76 @@ func assemble(p *pipeline.Pipeline, g *graphIR, opts Options) (*plan.Plan, error
 		MaxVecSize:  g.stats.maxVecSize,
 		InputIsText: inputIsText,
 	}
+	// On any failure the stage references interned so far must go back
+	// to the plan store, or they leak refcounts no plan owns.
+	var internedStages []*plan.Stage
+	fail := func(err error) (*plan.Plan, error) {
+		if opts.Plans != nil {
+			for _, s := range internedStages {
+				opts.Plans.Release(s)
+			}
+		}
+		return nil, err
+	}
 	for _, n := range order {
 		kind := kernelKindOf(n)
-		st := &plan.Stage{
-			ID:             n.id,
-			Ops:            n.ops,
-			OutCap:         n.outCap,
-			Materializable: n.materializable,
-			UsesAcc:        kind == "sa-head" || kind == "sa-tail",
-		}
+		inputs := make([]int, 0, len(n.inputs))
 		for _, in := range n.inputs {
 			if in == nil {
-				st.Inputs = append(st.Inputs, plan.InputID)
+				inputs = append(inputs, plan.InputID)
 			} else {
 				idx, ok := index[in]
 				if !ok {
-					return nil, fmt.Errorf("oven: dangling stage input")
+					return fail(fmt.Errorf("oven: dangling stage input"))
 				}
-				st.Inputs = append(st.Inputs, idx)
+				inputs = append(inputs, idx)
 			}
 		}
 		node := n
-		if opts.AOT {
-			k, err := buildKernel(node)
-			if err != nil {
-				return nil, err
+		build := func() (*plan.Stage, error) {
+			st := &plan.Stage{
+				ID:             node.id,
+				Ops:            node.ops,
+				Inputs:         inputs,
+				OutCap:         node.outCap,
+				Materializable: node.materializable,
+				UsesAcc:        kind == "sa-head" || kind == "sa-tail",
 			}
-			st.Kern = k
-		} else {
-			st.Bind = func() plan.Kernel {
+			if opts.AOT {
 				k, err := buildKernel(node)
 				if err != nil {
-					return &errKernel{err: err}
+					return nil, err
 				}
-				return k
+				st.Kern = k
+			} else {
+				st.Bind = func() plan.Kernel {
+					k, err := buildKernel(node)
+					if err != nil {
+						return &errKernel{err: err}
+					}
+					return k
+				}
+			}
+			return st, nil
+		}
+		var st *plan.Stage
+		if opts.Plans != nil {
+			shared, _, err := opts.Plans.Intern(stageSignature(node, inputs, objStore, opts), build)
+			if err != nil {
+				return fail(err)
+			}
+			internedStages = append(internedStages, shared)
+			st = shared
+		} else {
+			st, err = build()
+			if err != nil {
+				return nil, err
 			}
 		}
 		pl.Stages = append(pl.Stages, st)
 	}
 	if err := pl.Validate(); err != nil {
-		return nil, err
+		return fail(err)
 	}
 	return pl, nil
 }

@@ -189,6 +189,14 @@ type Stage struct {
 	// Inputs lists producer stage indices (InputID = plan input).
 	Inputs []int
 
+	// Sig is the structural content signature under which the stage is
+	// interned in the plan store; the zero Sig marks stages compiled
+	// without stage sharing.
+	Sig Sig
+
+	// shared marks stages owned by a StageStore (see Shared).
+	shared bool
+
 	// Kern is the bound physical implementation. With AOT compilation
 	// (the default) it is set at compile time; with AOT disabled it is
 	// built by Bind on first execution (the §5.2.1 AOT ablation).

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"pretzel/internal/metrics"
+	"pretzel/internal/ops"
 	"pretzel/internal/plan"
 	"pretzel/internal/sched"
 	"pretzel/internal/store"
@@ -165,10 +166,11 @@ func (m *model) latest() int {
 
 // Runtime hosts registered plans and serves predictions.
 type Runtime struct {
-	cfg      Config
-	objStore *store.ObjectStore
-	matCache *store.MatCache
-	sched    *sched.Scheduler
+	cfg       Config
+	objStore  *store.ObjectStore
+	planStore *plan.StageStore
+	matCache  *store.MatCache
+	sched     *sched.Scheduler
 
 	mu      sync.RWMutex
 	models  map[string]*model
@@ -209,10 +211,11 @@ func New(objStore *store.ObjectStore, cfg Config) *Runtime {
 		cfg.Quarantine = 30 * time.Second
 	}
 	rt := &Runtime{
-		cfg:      cfg,
-		objStore: objStore,
-		models:   make(map[string]*model),
-		catalog:  make(map[uint64]plan.Kernel),
+		cfg:       cfg,
+		objStore:  objStore,
+		planStore: plan.NewStageStore(),
+		models:    make(map[string]*model),
+		catalog:   make(map[uint64]plan.Kernel),
 	}
 	if cfg.MatCacheBytes > 0 {
 		rt.matCache = store.NewMatCache(cfg.MatCacheBytes)
@@ -245,6 +248,16 @@ func New(objStore *store.ObjectStore, cfg Config) *Runtime {
 
 // ObjectStore returns the runtime's object store (may be nil).
 func (rt *Runtime) ObjectStore() *store.ObjectStore { return rt.objStore }
+
+// PlanStore returns the runtime's plan store: compiled stages interned
+// by structural signature. Compilers pass it via oven.Options.Plans so
+// structurally identical pipelines share whole physical stages; the
+// runtime's release paths (UnregisterRelease) give stage references
+// back to it.
+func (rt *Runtime) PlanStore() *plan.StageStore { return rt.planStore }
+
+// PlanStoreStats returns the plan-store sharing counters.
+func (rt *Runtime) PlanStoreStats() plan.StageStoreStats { return rt.planStore.Stats() }
 
 // MatCache returns the materialization cache (nil when disabled).
 func (rt *Runtime) MatCache() *store.MatCache { return rt.matCache }
@@ -441,8 +454,16 @@ func (rt *Runtime) register(p *plan.Plan, name string, version int, requireNewMo
 	}
 	for _, s := range p.Stages {
 		if k, ok := rt.catalog[s.ID]; ok {
-			s.Kern = k
-			s.Bind = nil
+			// Rewire only when the stage actually carries a different
+			// kernel: a plan-store-shared stage is already bound to the
+			// canonical kernel and may be executing for other plans
+			// right now — rewriting it would race those readers. A
+			// fresh (unshared) stage is not published yet, so the write
+			// is safe.
+			if s.Kern != k {
+				s.Kern = k
+				s.Bind = nil
+			}
 			rt.catalogHits++
 			continue
 		}
@@ -499,21 +520,25 @@ func (rt *Runtime) Unregister(ref string) error {
 // UnregisterRelease is Unregister for the lifecycle tier: after the
 // removed versions drain, their plans' interned parameters are released
 // back to the Object Store (dropping the store's accounting — and its
-// canonical references — for parameters no other resident plan shares)
-// and system-catalog kernels referenced by no remaining plan are
-// pruned. This is what makes evicting a model to disk actually shrink
-// the resident set; plain Unregister keeps shared state around on the
+// canonical references — for parameters no other resident plan shares),
+// their shared stages are released back to the plan store, and
+// system-catalog kernels referenced by no remaining plan are pruned.
+// This is what makes evicting a model to disk actually shrink the
+// resident set; plain Unregister keeps shared state around on the
 // assumption the model is coming back.
 func (rt *Runtime) UnregisterRelease(ref string) error {
 	removed, err := rt.unregister(ref, true)
 	if err != nil {
 		return err
 	}
-	if rt.objStore != nil {
-		for _, r := range removed {
+	for _, r := range removed {
+		if rt.objStore != nil {
 			for _, p := range r.Plan.Interned {
 				rt.objStore.Release(p)
 			}
+		}
+		for _, s := range r.Plan.Stages {
+			rt.planStore.Release(s)
 		}
 	}
 	return nil
@@ -680,6 +705,13 @@ type ModelInfo struct {
 	// (dedup-aware: the marginal bytes this model added on load), or
 	// the import-time estimate while cold.
 	MemBytes int `json:"mem_bytes,omitempty"`
+	// UniqueBytes / SharedBytes split the model's parameter and stage
+	// footprint by sharing: unique bytes are referenced by this model
+	// alone (they leave with it), shared bytes are also referenced by
+	// other resident models (they stay behind on eviction). Zero when
+	// the runtime has no Object Store.
+	UniqueBytes int `json:"unique_bytes,omitempty"`
+	SharedBytes int `json:"shared_bytes,omitempty"`
 	// Pinned marks the model exempt from budget eviction.
 	Pinned bool `json:"pinned,omitempty"`
 }
@@ -705,6 +737,46 @@ func stageInfos(p *plan.Plan) []StageInfo {
 		}
 	}
 	return out
+}
+
+// sharingSplit partitions the model's parameter and stage footprint by
+// whether other resident models also reference each object. A canonical
+// parameter whose store refcount exceeds this model's own reference
+// count is shared; likewise for plan-store stages. Called under
+// rt.mu — the store locks nest inside it on every other path too.
+func (m *model) sharingSplit(rt *Runtime) (unique, shared int) {
+	if rt.objStore == nil {
+		return 0, 0
+	}
+	ownParams := make(map[ops.Param]int)
+	for _, r := range m.versions {
+		for _, p := range r.Plan.Interned {
+			ownParams[p]++
+		}
+	}
+	for p, own := range ownParams {
+		if rt.objStore.Refs(p) > own {
+			shared += p.MemBytes()
+		} else {
+			unique += p.MemBytes()
+		}
+	}
+	ownStages := make(map[*plan.Stage]int)
+	for _, r := range m.versions {
+		for _, s := range r.Plan.Stages {
+			if s.Shared() {
+				ownStages[s]++
+			}
+		}
+	}
+	for s, own := range ownStages {
+		if rt.planStore.Refs(s) > own {
+			shared += s.MemEstimate()
+		} else {
+			unique += s.MemEstimate()
+		}
+	}
+	return unique, shared
 }
 
 func (m *model) info(name string) ModelInfo {
@@ -740,7 +812,10 @@ func (rt *Runtime) Models() []ModelInfo {
 	}
 	sort.Strings(names)
 	for _, n := range names {
-		out = append(out, rt.models[n].info(n))
+		m := rt.models[n]
+		mi := m.info(n)
+		mi.UniqueBytes, mi.SharedBytes = m.sharingSplit(rt)
+		out = append(out, mi)
 	}
 	return out
 }
@@ -753,7 +828,9 @@ func (rt *Runtime) ModelInfo(name string) (ModelInfo, error) {
 	if !ok {
 		return ModelInfo{}, fmt.Errorf("%w: %q", ErrModelNotFound, name)
 	}
-	return m.info(name), nil
+	mi := m.info(name)
+	mi.UniqueBytes, mi.SharedBytes = m.sharingSplit(rt)
+	return mi, nil
 }
 
 // AdmissionStats is the global admission-control snapshot: requests
@@ -801,18 +878,28 @@ func (rt *Runtime) Reserve(ref string, cores int) error {
 }
 
 // MemBytes estimates the runtime memory footprint: unique parameters in
-// the Object Store (or per-plan parameters when no store is used) plus
-// plan/stage bookkeeping.
+// the Object Store (or per-plan parameters when no store is used), the
+// unique shared stages in the plan store, plus plan/stage bookkeeping.
+// Lifecycle charges each model the MemBytes delta its load produced, so
+// keeping both stores inside this sum is what makes RAM accounting
+// automatically dedup-aware at the parameter AND the plan level.
 func (rt *Runtime) MemBytes() int {
 	rt.mu.RLock()
 	defer rt.mu.RUnlock()
 	total := 0
 	if rt.objStore != nil {
-		total += rt.objStore.MemBytes()
-		// Plan skeletons: stages + wiring, parameters counted once above.
+		total += rt.objStore.MemBytes() + rt.planStore.MemBytes()
+		// Plan skeletons: wiring plus the stages this plan owns alone;
+		// shared stages are counted once in the plan store above and
+		// parameters once in the Object Store.
 		for _, m := range rt.models {
 			for _, r := range m.versions {
-				total += 256 + 128*len(r.Plan.Stages)
+				total += 256
+				for _, s := range r.Plan.Stages {
+					if !s.Shared() {
+						total += 128
+					}
+				}
 			}
 		}
 		return total

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"pretzel/internal/metrics"
+	"pretzel/internal/plan"
 	"pretzel/internal/runtime"
 	"pretzel/internal/sched"
 	"pretzel/internal/store"
@@ -68,7 +69,9 @@ type RegisterOptions struct {
 	Label string
 }
 
-// RegisterResult reports one successful registration.
+// RegisterResult reports one successful registration, including the
+// density view of the upload: how many bytes the model actually added
+// to the node versus how many it shares with already-resident models.
 type RegisterResult struct {
 	Name    string `json:"name"`
 	Version int    `json:"version"`
@@ -76,6 +79,18 @@ type RegisterResult struct {
 	// Nodes lists the cluster nodes holding the new version (empty for
 	// a local engine).
 	Nodes []string `json:"nodes,omitempty"`
+
+	// NewBytes is the marginal footprint this registration added (the
+	// runtime MemBytes delta across compile+register: unique parameters
+	// and stages no resident model had).
+	NewBytes int `json:"new_bytes"`
+	// SharedBytes is the rest of the plan's footprint — parameters and
+	// compiled stages deduplicated against already-resident models.
+	SharedBytes int `json:"shared_bytes"`
+	// DedupRatio is SharedBytes / (NewBytes + SharedBytes): 0 for a
+	// first-of-its-kind model, approaching 1 for the 10,000th variant
+	// that differs only in its final layer.
+	DedupRatio float64 `json:"dedup_ratio"`
 }
 
 // Stats is the engine's white-box snapshot. Local engines fill the
@@ -92,6 +107,9 @@ type Stats struct {
 	Models      map[string]runtime.ModelLoad `json:"models,omitempty"`
 	MatCache    store.CacheStats             `json:"mat_cache"`
 	ObjectStore store.Stats                  `json:"object_store"`
+	// PlanStore is the compiled-stage sharing view: unique stages,
+	// total references and hit/miss counters of the plan store.
+	PlanStore plan.StageStoreStats `json:"plan_store"`
 	// MemBytes is the engine's estimated parameter + plan footprint.
 	MemBytes int `json:"mem_bytes"`
 

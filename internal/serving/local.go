@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 
+	"pretzel/internal/ops"
 	"pretzel/internal/oven"
 	"pretzel/internal/pipeline"
+	"pretzel/internal/plan"
 	"pretzel/internal/runtime"
 	"pretzel/internal/vector"
 )
@@ -20,11 +22,16 @@ type Local struct {
 }
 
 // NewLocal wraps a runtime as an Engine. opts configure compilation of
-// uploaded models (nil = oven.DefaultOptions).
+// uploaded models (nil = oven.DefaultOptions). Unless the options pin
+// one explicitly, compilation interns stages in the runtime's plan
+// store, so structurally identical uploads share compiled stages.
 func NewLocal(rt *runtime.Runtime, opts *oven.Options) *Local {
 	co := oven.DefaultOptions()
 	if opts != nil {
 		co = *opts
+	}
+	if co.Plans == nil {
+		co.Plans = rt.PlanStore()
 	}
 	return &Local{rt: rt, compile: co}
 }
@@ -107,13 +114,18 @@ func (l *Local) Register(zip []byte, opts RegisterOptions) (RegisterResult, erro
 	if name == "" {
 		name, _ = runtime.SplitRef(p.Name)
 	}
+	// The footprint delta across compile+register is what this upload
+	// actually cost the node; the rest of the plan's footprint was
+	// already resident — shared with earlier models. Concurrent
+	// registrations can blur the split, but the totals stay correct.
+	before := l.rt.MemBytes()
 	pl, err := oven.Compile(p, l.rt.ObjectStore(), l.compile)
 	if err != nil {
 		return RegisterResult{}, fmt.Errorf("%w: compiling: %v", ErrBadModel, err)
 	}
 	reg, err := l.rt.RegisterVersion(pl, name, opts.Version)
 	if err != nil {
-		oven.ReleaseInterned(l.rt.ObjectStore(), pl.Interned)
+		oven.ReleasePlan(l.rt.ObjectStore(), l.compile.Plans, pl)
 		return RegisterResult{}, err
 	}
 	if opts.Label != "" {
@@ -121,11 +133,52 @@ func (l *Local) Register(zip []byte, opts RegisterOptions) (RegisterResult, erro
 			return RegisterResult{}, err
 		}
 	}
-	return RegisterResult{Name: reg.Name, Version: reg.Version, ID: reg.ID}, nil
+	res := RegisterResult{Name: reg.Name, Version: reg.Version, ID: reg.ID}
+	res.NewBytes = l.rt.MemBytes() - before
+	if res.NewBytes < 0 {
+		res.NewBytes = 0
+	}
+	if fp := planFootprint(pl); fp > res.NewBytes {
+		res.SharedBytes = fp - res.NewBytes
+	}
+	if total := res.NewBytes + res.SharedBytes; total > 0 {
+		res.DedupRatio = float64(res.SharedBytes) / float64(total)
+	}
+	return res, nil
+}
+
+// planFootprint is the bytes the plan would occupy with no sharing at
+// all: its unique canonical parameters, its stages and the skeleton.
+func planFootprint(pl *plan.Plan) int {
+	total := 256
+	seenP := make(map[ops.Param]bool, len(pl.Interned))
+	for _, p := range pl.Interned {
+		if !seenP[p] {
+			seenP[p] = true
+			total += p.MemBytes()
+		}
+	}
+	seenS := make(map[*plan.Stage]bool, len(pl.Stages))
+	for _, s := range pl.Stages {
+		if seenS[s] {
+			continue
+		}
+		seenS[s] = true
+		if s.Shared() {
+			total += s.MemEstimate()
+		} else {
+			total += 128
+		}
+	}
+	return total
 }
 
 // Unregister removes a model reference, draining in-flight work first.
-func (l *Local) Unregister(ref string) error { return l.rt.Unregister(ref) }
+// Removal through the serving API is permanent (unlike a lifecycle
+// eviction), so the plan's interned parameters and shared stages are
+// released — the object store and plan store return to their prior
+// footprint once the last sharer of each object leaves.
+func (l *Local) Unregister(ref string) error { return l.rt.UnregisterRelease(ref) }
 
 // SetLabel atomically points a label at an installed version.
 func (l *Local) SetLabel(name, label string, version int) error {
@@ -146,6 +199,7 @@ func (l *Local) Stats() Stats {
 		Models:      l.rt.ModelLoads(),
 		MatCache:    l.rt.MatCacheStats(),
 		ObjectStore: l.rt.ObjectStoreStats(),
+		PlanStore:   l.rt.PlanStoreStats(),
 		MemBytes:    l.rt.MemBytes(),
 	}
 }

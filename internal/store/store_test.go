@@ -1,6 +1,7 @@
 package store
 
 import (
+	"io"
 	"sync"
 	"testing"
 
@@ -275,6 +276,66 @@ func TestMatCacheConcurrent(t *testing.T) {
 	wg.Wait()
 	if c.Len() == 0 || c.Len() > 4 {
 		t.Fatalf("len=%d", c.Len())
+	}
+}
+
+// forgedParam lets tests pin the 64-bit checksum independently of the
+// content bytes — simulating a fingerprint collision between two
+// different models' parameters.
+type forgedParam struct {
+	sum     uint64
+	content string
+}
+
+func (f *forgedParam) Checksum() uint64 { return f.sum }
+func (f *forgedParam) MemBytes() int    { return len(f.content) }
+func (f *forgedParam) WriteContent(w io.Writer) error {
+	_, err := io.WriteString(w, f.content)
+	return err
+}
+
+func TestInternChecksumCollision(t *testing.T) {
+	s := New()
+	a := &forgedParam{sum: 42, content: "model-A weights"}
+	b := &forgedParam{sum: 42, content: "model-B weights"}
+	ca := s.Intern(a)
+	cb := s.Intern(b)
+	if ca == cb {
+		t.Fatal("checksum collision must not intern one model onto another's weights")
+	}
+	if s.Count() != 2 {
+		t.Fatalf("count=%d, want both collided params stored", s.Count())
+	}
+	if st := s.Stats(); st.Collisions != 1 {
+		t.Fatalf("collisions=%d, want 1", st.Collisions)
+	}
+	// Equal content still dedups inside a collided bucket.
+	c := &forgedParam{sum: 42, content: "model-B weights"}
+	if s.Intern(c) != cb {
+		t.Fatal("equal content in a collided bucket must still dedup")
+	}
+	if s.Refs(a) != 1 || s.Refs(b) != 2 {
+		t.Fatalf("refs a=%d b=%d", s.Refs(a), s.Refs(b))
+	}
+	s.Release(a)
+	s.Release(b)
+	s.Release(cb)
+	if s.Count() != 0 {
+		t.Fatalf("count=%d after releasing all", s.Count())
+	}
+}
+
+func TestStatsSharingView(t *testing.T) {
+	s := New()
+	a := s.Intern(dict("x", "y"))
+	s.Intern(dict("x", "y"))
+	s.Intern(dict("x", "y")) // refs = 3
+	st := s.Stats()
+	if st.Unique != 1 || st.Refs != 3 {
+		t.Fatalf("stats=%+v", st)
+	}
+	if want := int64(2) * int64(a.MemBytes()); st.BytesSaved != want {
+		t.Fatalf("bytes_saved=%d want %d", st.BytesSaved, want)
 	}
 }
 

@@ -93,6 +93,14 @@ func (d *Dict) Checksum() uint64 {
 	return acc
 }
 
+// WriteContent implements ops.Param: the canonical serialized bytes the
+// Object Store's collision-safe content address is computed over
+// (WriteTo is index-ordered, hence deterministic for equal content).
+func (d *Dict) WriteContent(w io.Writer) error {
+	_, err := d.WriteTo(w)
+	return err
+}
+
 // WriteTo serializes the dictionary (sorted by index for determinism).
 func (d *Dict) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)

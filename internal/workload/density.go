@@ -1,0 +1,162 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pretzel/internal/dataset"
+	"pretzel/internal/ml"
+	"pretzel/internal/ops"
+	"pretzel/internal/pipeline"
+	"pretzel/internal/schema"
+	"pretzel/internal/text"
+)
+
+// DensitySet is the model-density workload: n sentiment variants that
+// share one featurization front — the same tokenizer, ONE char dict,
+// ONE word dict, identical concat wiring — and differ only in their
+// final linear layer. It reproduces the "10,000 model variants on one
+// node" scenario the Object Store and plan store exist for: registered
+// with sharing enabled, every variant beyond the first should cost its
+// final layer and nothing else.
+type DensitySet struct {
+	Pipelines []*pipeline.Pipeline
+	// Models holds each variant's final layer (same index as Pipelines),
+	// for reference scoring independent of the compiled plans.
+	Models   []*ml.LinearModel
+	CharDict *text.Dict
+	WordDict *text.Dict
+	charCfg  text.CharNgramConfig
+	wordCfg  text.WordNgramConfig
+	// TestInputs are held-out review texts for issuing predictions.
+	TestInputs []string
+}
+
+// BuildDensity generates n final-layer-only variants at the given
+// corpus scale (only the corpus/dictionary fields of sc are used).
+func BuildDensity(n int, sc Scale) (*DensitySet, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: variant count must be > 0")
+	}
+	corpus := dataset.NewReviewCorpus(sc.CorpusVocab, sc.Seed)
+	docs := corpus.Generate(sc.CorpusDocs, sc.ReviewLength)
+	test := corpus.Generate(50, sc.ReviewLength)
+
+	tokenized := make([][]string, len(docs))
+	for i, d := range docs {
+		tokenized[i] = text.Tokenize(d.Text, nil)
+	}
+
+	// One char dict, one word dict: the whole fleet shares a single
+	// featurization front.
+	cb := text.NewDictBuilder()
+	for _, toks := range tokenized {
+		for _, tok := range toks {
+			text.ObserveCharNgrams(cb, []byte(tok), 2, 3)
+		}
+	}
+	wb := text.NewDictBuilder()
+	var scratch []byte
+	for _, toks := range tokenized {
+		scratch = text.ObserveWordNgrams(wb, toks, 2, scratch)
+	}
+	ds := &DensitySet{
+		CharDict: cb.Build(maxInt(sc.CharBudget, 8)),
+		WordDict: wb.Build(maxInt(sc.WordBudget, 8)),
+	}
+	ds.charCfg = text.CharNgramConfig{MinN: 2, MaxN: 3, Dict: ds.CharDict}
+	ds.wordCfg = text.WordNgramConfig{MaxN: 2, Dict: ds.WordDict}
+	charDim := ds.CharDict.Size()
+	dim := charDim + ds.WordDict.Size()
+
+	// Train the one base model every variant is fine-tuned from.
+	nTrain := sc.TrainDocs
+	if nTrain > len(docs) {
+		nTrain = len(docs)
+	}
+	samples := make([]ml.Sample, nTrain)
+	for i := 0; i < nTrain; i++ {
+		var idx []int32
+		var val []float32
+		ds.charCfg.ExtractTokens(tokenized[i], func(ix int32) {
+			idx = append(idx, ix)
+			val = append(val, 1)
+		})
+		scratch = ds.wordCfg.ExtractTokens(tokenized[i], scratch, func(ix int32) {
+			idx = append(idx, int32(charDim)+ix)
+			val = append(val, 1)
+		})
+		samples[i] = ml.Sample{Idx: idx, Val: val, Label: docs[i].Label}
+	}
+	base, err := ml.TrainLinear(samples, ml.LinearOptions{
+		Kind: ml.LogisticRegression, Dim: dim, Epochs: 3, LearnRate: 0.2, Seed: sc.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// The variants: identical structure and shared dictionary POINTERS
+	// (interning hits the identity fast path), a unique perturbed copy
+	// of the base weights each.
+	for i := 0; i < n; i++ {
+		prng := rand.New(rand.NewSource(sc.Seed + int64(i)*7919))
+		weights := make([]float32, len(base.Weights))
+		copy(weights, base.Weights)
+		for k := 0; k < len(weights)/20+1; k++ {
+			weights[prng.Intn(len(weights))] += float32(prng.NormFloat64()) * 0.01
+		}
+		model := &ml.LinearModel{
+			Kind:    ml.LogisticRegression,
+			Weights: weights,
+			Bias:    base.Bias + float32(prng.NormFloat64())*0.01,
+		}
+		p := &pipeline.Pipeline{
+			Name:        fmt.Sprintf("dv-%05d", i),
+			InputSchema: schema.Text("Text"),
+			Stats: pipeline.Stats{
+				MaxVectorSize: dim,
+				AvgTokens:     float64(sc.ReviewLength),
+				SparseOutput:  true,
+			},
+			Nodes: []pipeline.Node{
+				{Op: &ops.Tokenizer{}, Inputs: []int{pipeline.InputID}},
+				{Op: &ops.CharNgram{MinN: 2, MaxN: 3, Dict: ds.CharDict}, Inputs: []int{0}},
+				{Op: &ops.WordNgram{MaxN: 2, Dict: ds.WordDict}, Inputs: []int{0}},
+				{Op: &ops.Concat{Dims: []int{charDim, ds.WordDict.Size()}}, Inputs: []int{1, 2}},
+				{Op: &ops.LinearPredictor{Model: model}, Inputs: []int{3}},
+			},
+		}
+		ds.Pipelines = append(ds.Pipelines, p)
+		ds.Models = append(ds.Models, model)
+	}
+	for _, r := range test {
+		ds.TestInputs = append(ds.TestInputs, r.Text)
+	}
+	return ds, nil
+}
+
+// Features computes the sparse feature vector of one input exactly as
+// the shared featurization front does: char n-grams first, word n-grams
+// offset by the char dictionary size, one (index, 1) entry per
+// occurrence. Reference(i, …) scores it with variant i's own weights —
+// the ground truth a compiled, stage-shared plan must reproduce.
+func (ds *DensitySet) Features(input string) (idx []int32, val []float32) {
+	toks := text.Tokenize(input, nil)
+	charDim := ds.CharDict.Size()
+	ds.charCfg.ExtractTokens(toks, func(ix int32) {
+		idx = append(idx, ix)
+		val = append(val, 1)
+	})
+	ds.wordCfg.ExtractTokens(toks, nil, func(ix int32) {
+		idx = append(idx, int32(charDim)+ix)
+		val = append(val, 1)
+	})
+	return idx, val
+}
+
+// Reference scores input with variant i's final layer, bypassing the
+// compiled plan entirely.
+func (ds *DensitySet) Reference(i int, input string) float32 {
+	idx, val := ds.Features(input)
+	return ds.Models[i].ScoreSparse(idx, val)
+}
