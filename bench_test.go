@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	goruntime "runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -22,6 +23,7 @@ import (
 	"pretzel/internal/pipeline"
 	"pretzel/internal/plan"
 	"pretzel/internal/runtime"
+	"pretzel/internal/sched"
 	"pretzel/internal/store"
 	"pretzel/internal/vector"
 	"pretzel/internal/workload"
@@ -316,6 +318,7 @@ func BenchmarkExpScale(b *testing.B)       { experimentBenchmark(b, "scale") }
 func BenchmarkExpReservation(b *testing.B) { experimentBenchmark(b, "reservation") }
 func BenchmarkExpFig14(b *testing.B)       { experimentBenchmark(b, "fig14") }
 func BenchmarkExpBatchSweep(b *testing.B)  { experimentBenchmark(b, "batchsweep") }
+func BenchmarkExpParscale(b *testing.B)    { experimentBenchmark(b, "parscale") }
 func BenchmarkExpOverload(b *testing.B)    { experimentBenchmark(b, "overload") }
 
 // BenchmarkBatchStage measures single-stage record throughput of a
@@ -380,5 +383,63 @@ func BenchmarkBatchStage(b *testing.B) {
 				b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "rec/s")
 			})
 		}
+	}
+}
+
+// BenchmarkBatchStageParallel measures full-pipeline record throughput
+// of one 256-record batch job at a time through the batch engine at
+// fixed executor counts: the fan-out path (row-range subtasks on the
+// work-stealing queues) is the only source of parallelism, because a
+// single job's stage events are otherwise sequential. The cpus axis is
+// encoded in the sub-benchmark NAME — benchgate strips testing's "-N"
+// GOMAXPROCS suffix, and -cpu fixes sub names at discovery time — so
+// each sub pins GOMAXPROCS itself, exp_scale-style.
+func BenchmarkBatchStageParallel(b *testing.B) {
+	const batch = 256
+	env := benchEnv(b)
+	sa, err := env.SA()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, cpus := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("batch=%d/cpus=%d", batch, cpus), func(b *testing.B) {
+			prev := goruntime.GOMAXPROCS(cpus)
+			defer goruntime.GOMAXPROCS(prev)
+			pl, err := oven.Compile(mustImport(b, sa.Files[0]), store.New(), oven.DefaultOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			s := sched.New(sched.Config{Executors: cpus, BatchGrain: 32})
+			defer s.Close()
+			ins := make([]*vector.Vector, batch)
+			outs := make([]*vector.Vector, batch)
+			for r := range ins {
+				in := vector.New(0)
+				in.SetText(fmt.Sprintf("%s %d", sa.Set.TestInputs[r%len(sa.Set.TestInputs)], r))
+				ins[r] = in
+				outs[r] = vector.New(0)
+			}
+			// Executors must have started and parked before ShouldFan
+			// can see spare capacity (a single core never preempts the
+			// submit loop to let them).
+			time.Sleep(20 * time.Millisecond)
+			for i := 0; i < 2; i++ {
+				j := sched.NewBatchJob(pl, ins, outs, nil)
+				s.Submit(j)
+				if err := j.Wait(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				j := sched.NewBatchJob(pl, ins, outs, nil)
+				s.Submit(j)
+				if err := j.Wait(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "rec/s")
+		})
 	}
 }

@@ -231,6 +231,7 @@ func Experiments() []Experiment {
 		{"fig14", "Figure 14: heavy load end-to-end vs containers", runFig14},
 		{"deadline", "deadline-aware scheduling: expired jobs shed before dispatch", runDeadline},
 		{"batchsweep", "batch-aware kernels: records/s vs batch size, batched vs per-record", runBatchSweep},
+		{"parscale", "data-parallel batch execution: one batch job's rec/s + fan-out speedup vs cores", runParscale},
 		{"overload", "admission-controlled overload: open-loop goodput, shed rate, p99 across capacity", runOverload},
 		{"cluster", "sharded cluster tier: aggregate goodput + p99 vs node count at fixed per-node capacity", runClusterExp},
 		{"chaos", "fault containment: panic quarantine + hedged routing under injected faults", runChaosExp},

@@ -1,0 +1,334 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+)
+
+// The multi-accumulator rewrites change float32 summation order, so
+// every function is property-tested against a float64 naive reference
+// at lengths that exercise all remainder lanes of the 4/8-wide blocks
+// (0, 1, 7, 8, 9, 63, 64, 65) plus NaN/Inf propagation — the rewrite
+// cannot silently reorder-diverge beyond float tolerance.
+
+var propLens = []int{0, 1, 7, 8, 9, 63, 64, 65}
+
+// lcg is a tiny deterministic generator so the property inputs are
+// reproducible without seeding globals.
+type lcg uint64
+
+func (g *lcg) next() float32 {
+	*g = *g*6364136223846793005 + 1442695040888963407
+	// Map to roughly [-2, 2): enough dynamic range to stress ordering
+	// without overflowing squared sums at length 65.
+	return float32(int32(uint32(*g>>33)))/float32(1<<29) - 0
+}
+
+func (g *lcg) fill(n int) []float32 {
+	x := make([]float32, n)
+	for i := range x {
+		x[i] = g.next()
+	}
+	return x
+}
+
+// close64 compares a float32 result against a float64 reference with a
+// tolerance scaled by the magnitude the sum passed through.
+func close64(got float32, want, scale float64) bool {
+	tol := 1e-4 * (1 + math.Abs(scale))
+	return math.Abs(float64(got)-want) <= tol
+}
+
+func TestDotProperty(t *testing.T) {
+	g := lcg(1)
+	for _, n := range propLens {
+		a, b := g.fill(n), g.fill(n)
+		var want, scale float64
+		for i := 0; i < n; i++ {
+			want += float64(a[i]) * float64(b[i])
+			scale += math.Abs(float64(a[i]) * float64(b[i]))
+		}
+		if got := Dot(a, b); !close64(got, want, scale) {
+			t.Fatalf("n=%d: Dot=%v, want %v", n, got, want)
+		}
+		// Length clamping: extra elements of the longer operand are ignored.
+		if n > 0 {
+			if got := Dot(a, append(append([]float32(nil), b...), 99)); !close64(got, want, scale) {
+				t.Fatalf("n=%d: Dot with longer b diverged", n)
+			}
+		}
+	}
+}
+
+func TestSparseDotProperty(t *testing.T) {
+	g := lcg(2)
+	for _, n := range propLens {
+		w := g.fill(128)
+		idx := make([]int32, n)
+		val := g.fill(n)
+		for i := range idx {
+			// Mix of in-range, negative, and out-of-range indices: the
+			// uint32 guard must ignore the invalid ones.
+			switch i % 5 {
+			case 3:
+				idx[i] = -1 - int32(i)
+			case 4:
+				idx[i] = int32(len(w) + i)
+			default:
+				idx[i] = int32((i * 37) % len(w))
+			}
+		}
+		var want, scale float64
+		for i := 0; i < n; i++ {
+			if idx[i] >= 0 && int(idx[i]) < len(w) {
+				want += float64(val[i]) * float64(w[idx[i]])
+				scale += math.Abs(float64(val[i]) * float64(w[idx[i]]))
+			}
+		}
+		if got := SparseDot(idx, val, w); !close64(got, want, scale) {
+			t.Fatalf("n=%d: SparseDot=%v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestGemvProperty(t *testing.T) {
+	g := lcg(3)
+	for _, r := range propLens {
+		c := 17
+		m := g.fill(r * c)
+		x := g.fill(c)
+		out := make([]float32, r)
+		Gemv(m, r, c, x, out)
+		for i := 0; i < r; i++ {
+			var want, scale float64
+			for k := 0; k < c; k++ {
+				want += float64(m[i*c+k]) * float64(x[k])
+				scale += math.Abs(float64(m[i*c+k]) * float64(x[k]))
+			}
+			if !close64(out[i], want, scale) {
+				t.Fatalf("r=%d row %d: Gemv=%v, want %v", r, i, out[i], want)
+			}
+		}
+	}
+}
+
+func TestSparseGemvProperty(t *testing.T) {
+	g := lcg(4)
+	for _, nnz := range propLens {
+		r, c := 9, 64
+		m := g.fill(r * c)
+		idx := make([]int32, nnz)
+		val := g.fill(nnz)
+		for i := range idx {
+			if i%7 == 6 {
+				idx[i] = int32(c + i) // out of range: ignored
+			} else {
+				idx[i] = int32((i * 11) % c)
+			}
+		}
+		out := make([]float32, r)
+		SparseGemv(m, r, c, idx, val, out)
+		for i := 0; i < r; i++ {
+			var want, scale float64
+			for k := 0; k < nnz; k++ {
+				if int(idx[k]) < c {
+					want += float64(val[k]) * float64(m[i*c+int(idx[k])])
+					scale += math.Abs(float64(val[k]) * float64(m[i*c+int(idx[k])]))
+				}
+			}
+			if !close64(out[i], want, scale) {
+				t.Fatalf("nnz=%d row %d: SparseGemv=%v, want %v", nnz, i, out[i], want)
+			}
+		}
+	}
+}
+
+func TestAxpyProperty(t *testing.T) {
+	g := lcg(5)
+	for _, n := range propLens {
+		x, y := g.fill(n), g.fill(n)
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = float64(y[i]) + 0.75*float64(x[i])
+		}
+		Axpy(0.75, x, y)
+		for i := range y {
+			if !close64(y[i], want[i], want[i]) {
+				t.Fatalf("n=%d i=%d: Axpy=%v, want %v", n, i, y[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSquaredDistanceProperty(t *testing.T) {
+	g := lcg(6)
+	for _, n := range propLens {
+		a, b := g.fill(n), g.fill(n)
+		var want float64
+		for i := 0; i < n; i++ {
+			d := float64(a[i]) - float64(b[i])
+			want += d * d
+		}
+		if got := SquaredDistance(a, b); !close64(got, want, want) {
+			t.Fatalf("n=%d: SquaredDistance=%v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestSumMeanVarianceL2Property(t *testing.T) {
+	g := lcg(7)
+	for _, n := range propLens {
+		x := g.fill(n)
+		var sum, sq, absSum float64
+		for _, v := range x {
+			sum += float64(v)
+			sq += float64(v) * float64(v)
+			absSum += math.Abs(float64(v))
+		}
+		if got := Sum(x); !close64(got, sum, absSum) {
+			t.Fatalf("n=%d: Sum=%v, want %v", n, got, sum)
+		}
+		if got := L2(x); !close64(got, math.Sqrt(sq), math.Sqrt(sq)) {
+			t.Fatalf("n=%d: L2=%v, want %v", n, got, math.Sqrt(sq))
+		}
+		if n == 0 {
+			if Mean(x) != 0 || Variance(x) != 0 {
+				t.Fatal("Mean/Variance of empty input must be 0")
+			}
+			continue
+		}
+		mean := sum / float64(n)
+		if got := Mean(x); !close64(got, mean, absSum/float64(n)) {
+			t.Fatalf("n=%d: Mean=%v, want %v", n, got, mean)
+		}
+		var vr float64
+		m32 := float64(Mean(x)) // variance reference uses the same float32 mean
+		for _, v := range x {
+			d := float64(v) - m32
+			vr += d * d
+		}
+		vr /= float64(n)
+		if got := Variance(x); !close64(got, vr, vr+1) {
+			t.Fatalf("n=%d: Variance=%v, want %v", n, got, vr)
+		}
+	}
+}
+
+func TestSoftmaxProperty(t *testing.T) {
+	g := lcg(8)
+	for _, n := range propLens {
+		x := g.fill(n)
+		out := Softmax(x, make([]float32, n))
+		if n == 0 {
+			if len(out) != 0 {
+				t.Fatal("Softmax of empty input must be empty")
+			}
+			continue
+		}
+		max := float64(math.Inf(-1))
+		for _, v := range x {
+			if float64(v) > max {
+				max = float64(v)
+			}
+		}
+		var sum float64
+		es := make([]float64, n)
+		for i, v := range x {
+			es[i] = math.Exp(float64(v) - max)
+			sum += es[i]
+		}
+		var got float64
+		for i := range out {
+			if !close64(out[i], es[i]/sum, 1) {
+				t.Fatalf("n=%d i=%d: Softmax=%v, want %v", n, i, out[i], es[i]/sum)
+			}
+			got += float64(out[i])
+		}
+		if math.Abs(got-1) > 1e-4 {
+			t.Fatalf("n=%d: Softmax sums to %v", n, got)
+		}
+	}
+}
+
+func TestExpSigmoidProperty(t *testing.T) {
+	for x := float32(-87); x < 88; x += 0.37 {
+		want := math.Exp(float64(x))
+		if got := Exp(x); math.Abs(float64(got)-want) > 1e-5*want {
+			t.Fatalf("Exp(%v)=%v, want %v", x, got, want)
+		}
+		ws := 1 / (1 + math.Exp(float64(-x)))
+		if got := Sigmoid(x); math.Abs(float64(got)-ws) > 1e-5 {
+			t.Fatalf("Sigmoid(%v)=%v, want %v", x, got, ws)
+		}
+	}
+	if Exp(0) != 1 {
+		t.Fatalf("Exp(0)=%v, want exactly 1", Exp(0))
+	}
+	if Sigmoid(0) != 0.5 {
+		t.Fatalf("Sigmoid(0)=%v, want exactly 0.5", Sigmoid(0))
+	}
+}
+
+func TestNaNInfPropagation(t *testing.T) {
+	nan := float32(math.NaN())
+	inf := float32(math.Inf(1))
+	isNaN := func(f float32) bool { return f != f }
+	// A NaN anywhere — first element, mid-block, remainder tail — must
+	// surface in every reduction.
+	for _, pos := range []int{0, 4, 8, 12} {
+		n := 13
+		g := lcg(9)
+		a, b := g.fill(n), g.fill(n)
+		a[pos] = nan
+		if got := Dot(a, b); !isNaN(got) {
+			t.Fatalf("Dot NaN@%d: got %v", pos, got)
+		}
+		if got := Sum(a); !isNaN(got) {
+			t.Fatalf("Sum NaN@%d: got %v", pos, got)
+		}
+		if got := SquaredDistance(a, b); !isNaN(got) {
+			t.Fatalf("SquaredDistance NaN@%d: got %v", pos, got)
+		}
+		if got := L2(a); !isNaN(got) {
+			t.Fatalf("L2 NaN@%d: got %v", pos, got)
+		}
+		y := g.fill(n)
+		Axpy(1, a, y)
+		if !isNaN(y[pos]) {
+			t.Fatalf("Axpy NaN@%d did not propagate", pos)
+		}
+	}
+	// Sparse forms propagate NaN only through in-range indices.
+	if got := SparseDot([]int32{0, 1}, []float32{nan, 1}, []float32{1, 1}); !isNaN(got) {
+		t.Fatalf("SparseDot NaN val: got %v", got)
+	}
+	if got := SparseDot([]int32{-5, 1}, []float32{nan, 1}, []float32{1, 1}); isNaN(got) || got != 1 {
+		t.Fatalf("SparseDot NaN at invalid index must be ignored: got %v", got)
+	}
+	// Inf arithmetic: +Inf dominates Sum; Inf - Inf makes NaN.
+	if got := Sum([]float32{1, inf, 2}); got != inf {
+		t.Fatalf("Sum with +Inf: got %v", got)
+	}
+	if got := Sum([]float32{inf, -inf}); !isNaN(got) {
+		t.Fatalf("Sum(+Inf,-Inf): got %v, want NaN", got)
+	}
+	// Exp/Sigmoid edge cases.
+	if got := Exp(nan); !isNaN(got) {
+		t.Fatalf("Exp(NaN)=%v", got)
+	}
+	if got := Exp(inf); got != inf {
+		t.Fatalf("Exp(+Inf)=%v", got)
+	}
+	if got := Exp(-inf); got != 0 {
+		t.Fatalf("Exp(-Inf)=%v", got)
+	}
+	if got := Sigmoid(nan); !isNaN(got) {
+		t.Fatalf("Sigmoid(NaN)=%v", got)
+	}
+	if got := Sigmoid(inf); got != 1 {
+		t.Fatalf("Sigmoid(+Inf)=%v", got)
+	}
+	if got := Sigmoid(-inf); got != 0 {
+		t.Fatalf("Sigmoid(-Inf)=%v", got)
+	}
+}

@@ -78,7 +78,7 @@ func (m *LinearModel) Link(margin float32) float32 {
 		if margin > 30 {
 			margin = 30
 		}
-		return float32(math.Exp(float64(margin)))
+		return linalg.Exp(margin)
 	default:
 		return margin
 	}

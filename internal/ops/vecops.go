@@ -221,9 +221,7 @@ func (o *Concat) Transform(in []*vector.Vector, out *vector.Vector) error {
 		for i, v := range in {
 			switch v.Kind {
 			case vector.KindSparse:
-				for k, ix := range v.Idx {
-					out.AppendSparse(off+ix, v.Val[k])
-				}
+				out.AppendSparseShifted(off, v.Idx, v.Val)
 			case vector.KindDense:
 				for k, x := range v.Dense {
 					if x != 0 {
@@ -370,14 +368,17 @@ func (o *MeanVarScaler) Transform(in []*vector.Vector, out *vector.Vector) error
 		return fmt.Errorf("ops: MeanVarScaler needs one dense input")
 	}
 	x := in[0].Dense
-	d := out.UseDense(len(x))
-	mean, std := o.Mean.V, o.Std.V
-	for i := range x {
+	d := out.UseDense(len(x))[:len(x)]
+	// Reslicing the parameter vectors to the input length eliminates the
+	// per-element bounds checks (and panics on a dim mismatch exactly
+	// where the unsliced indexing would have).
+	mean, std := o.Mean.V[:len(x)], o.Std.V[:len(x)]
+	for i, xv := range x {
 		s := std[i]
 		if s == 0 {
 			s = 1
 		}
-		d[i] = (x[i] - mean[i]) / s
+		d[i] = (xv - mean[i]) / s
 	}
 	return nil
 }
@@ -620,12 +621,13 @@ func (o *Clip) Transform(in []*vector.Vector, out *vector.Vector) error {
 		return fmt.Errorf("ops: Clip needs one dense input")
 	}
 	x := in[0].Dense
-	d := out.UseDense(len(x))
+	d := out.UseDense(len(x))[:len(x)]
+	lo, hi := o.Lo, o.Hi
 	for i, v := range x {
-		if v < o.Lo {
-			v = o.Lo
-		} else if v > o.Hi {
-			v = o.Hi
+		if v < lo {
+			v = lo
+		} else if v > hi {
+			v = hi
 		}
 		d[i] = v
 	}

@@ -62,17 +62,22 @@ func RunStageBatch(s *Stage, ec *Exec, insRows [][]*vector.Vector, outs []*vecto
 	return err
 }
 
-// runStageBatchInner handles the batched materialization-cache protocol
-// around the kernel invocation: hash every record's input, serve hits by
-// copy, gather the misses into a contiguous sub-batch for the kernel,
-// and insert the fresh results.
-func runStageBatchInner(s *Stage, kern Kernel, ec *Exec, insRows [][]*vector.Vector, outs []*vector.Vector, accs []float32) error {
+// runStageBatchRange handles the batched materialization-cache protocol
+// around the kernel invocation for one contiguous row range: hash every
+// record's input, serve hits by copy, gather the misses into a
+// contiguous sub-batch for the kernel, and insert the fresh results. It
+// is the body shared by the sequential event path and the data-parallel
+// subtasks (which each bring their own *Exec, so the scratch slices
+// never collide); it reports cache hits to the caller instead of
+// touching stage counters, so metrics stay one update per stage event
+// regardless of how many subtasks the event fanned into.
+func runStageBatchRange(s *Stage, kern Kernel, ec *Exec, insRows [][]*vector.Vector, outs []*vector.Vector, accs []float32) (hits int, err error) {
 	n := len(outs)
 	if n == 0 {
-		return nil
+		return 0, nil
 	}
 	if !s.Materializable || ec.Cache == nil || len(insRows[0]) != 1 {
-		return runBatchKernel(kern, ec, insRows, outs, accs, s.UsesAcc)
+		return 0, runBatchKernel(kern, ec, insRows, outs, accs, s.UsesAcc)
 	}
 	if cap(ec.hashes) < n {
 		ec.hashes = make([]uint64, n)
@@ -86,21 +91,19 @@ func runStageBatchInner(s *Stage, kern Kernel, ec *Exec, insRows [][]*vector.Vec
 		}
 	}
 	ec.missIdx = miss
-	if hits := n - len(miss); hits > 0 {
-		s.metrics.cacheHits.Add(uint64(hits))
-	}
+	hits = n - len(miss)
 	if len(miss) == 0 {
-		return nil
+		return hits, nil
 	}
 	if len(miss) == n {
 		// Nothing was served: run the whole batch as-is.
 		if err := runBatchKernel(kern, ec, insRows, outs, accs, s.UsesAcc); err != nil {
-			return err
+			return hits, err
 		}
 		for r := 0; r < n; r++ {
 			ec.Cache.Put(s.ID, hashes[r], outs[r])
 		}
-		return nil
+		return hits, nil
 	}
 	// Gather the misses into a dense sub-batch (executor-owned scratch,
 	// no allocation in steady state), run the kernel once over it, then
@@ -122,7 +125,7 @@ func runStageBatchInner(s *Stage, kern Kernel, ec *Exec, insRows [][]*vector.Vec
 		}
 	}
 	if err := runBatchKernel(kern, ec, mIns, mOuts, mAccs, s.UsesAcc); err != nil {
-		return err
+		return hits, err
 	}
 	if s.UsesAcc {
 		for i, r := range miss {
@@ -132,7 +135,7 @@ func runStageBatchInner(s *Stage, kern Kernel, ec *Exec, insRows [][]*vector.Vec
 	for _, r := range miss {
 		ec.Cache.Put(s.ID, hashes[r], outs[r])
 	}
-	return nil
+	return hits, nil
 }
 
 // runBatchKernel invokes the kernel over a batch: one RunBatch call

@@ -1,0 +1,73 @@
+// Data-parallel batch execution: the plan-side half of fanning one
+// stage event's record row across the executor pool. The scheduler
+// injects a Fanout into each executor's Exec; when a batch is large
+// enough and spare executors exist, RunStageBatch partitions the row
+// into contiguous range subtasks that run concurrently — on the same
+// work-stealing queues that carry stage events, not a separate pool —
+// while the originator participates instead of blocking. Each subtask
+// keeps PR 6's panic containment (its own recover barrier) and brings
+// its own *Exec, so the batched materialization-cache protocol and all
+// scratch state stay executor-local; per-stage counters are still
+// updated exactly once per stage event, aggregated across subtasks.
+package plan
+
+import (
+	"runtime/debug"
+	"sync/atomic"
+
+	"pretzel/internal/vector"
+)
+
+// Fanout is the scheduler's face of data-parallel batch execution.
+// Implementations live with the executor pool (see the sched package);
+// plan only decides when to consult it and how to merge the results.
+type Fanout interface {
+	// ShouldFan reports whether a batch of n records is worth splitting
+	// right now — typically "n exceeds the configured grain and at least
+	// one executor is idle". It must be cheap and allocation-free: a
+	// false return keeps the event on the sequential zero-alloc path.
+	ShouldFan(n int) bool
+	// Fan partitions [0, n) into contiguous ranges and invokes
+	// run(lo, hi, ec) once per range, concurrently where executors are
+	// available, with the calling executor participating (never just
+	// blocking). Every range receives the *Exec of the executor actually
+	// running it. Fan returns after ALL ranges have finished — no
+	// subtask may outlive the call — and returns the first error.
+	Fan(n int, run func(lo, hi int, ec *Exec) error) error
+}
+
+// runStageBatchFanned splits one stage event's rows into range subtasks
+// via ec.Fan. Helper executors inherit the originator's materialization
+// cache for the duration of the range (their own cache binding is nil
+// between jobs) and use their own scratch; cache hits are aggregated
+// and counted once for the whole event. A panic inside any subtask is
+// converted to a *PanicError by a per-subtask barrier, so one
+// poisonous range cannot unwind a helper executor or skip the
+// originator's join.
+func runStageBatchFanned(s *Stage, kern Kernel, ec *Exec, insRows [][]*vector.Vector, outs []*vector.Vector, accs []float32) error {
+	var hits atomic.Uint64
+	err := ec.Fan.Fan(len(outs), func(lo, hi int, sec *Exec) (rerr error) {
+		defer func() {
+			if v := recover(); v != nil {
+				rerr = &PanicError{StageID: s.ID, Value: v, Stack: debug.Stack()}
+			}
+		}()
+		if sec != ec {
+			sec.Cache = ec.Cache
+			defer func() { sec.Cache = nil }()
+		}
+		var rAccs []float32
+		if accs != nil {
+			rAccs = accs[lo:hi]
+		}
+		h, rerr2 := runStageBatchRange(s, kern, sec, insRows[lo:hi], outs[lo:hi], rAccs)
+		if h > 0 {
+			hits.Add(uint64(h))
+		}
+		return rerr2
+	})
+	if h := hits.Load(); h > 0 {
+		s.metrics.cacheHits.Add(h)
+	}
+	return err
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"pretzel/internal/linalg"
 	"pretzel/internal/ml"
 	"pretzel/internal/ops"
 	"pretzel/internal/text"
@@ -336,9 +337,15 @@ func (k *LinearScoreKernel) Run(ec *Exec, ins []*vector.Vector, out *vector.Vect
 // RunBatch implements BatchKernel: the model (weights, bias, link) is
 // loaded once and every record of the batch streams through it — the
 // parameter-locality effect PRETZEL's batch engine is built around
-// (§4.2: "weights are read once for many records").
+// (§4.2: "weights are read once for many records"). The work is split
+// into a margins pass — the weight slice stays hoisted in a register
+// across all rows instead of being re-fetched through the model header
+// per record — and a link pass whose kind dispatch happens once per
+// batch. Both passes call the same linalg primitives as the per-record
+// path, so results are bit-identical to Run.
 func (k *LinearScoreKernel) RunBatch(ec *Exec, insRows [][]*vector.Vector, outs []*vector.Vector, _ []float32) error {
 	m := k.Model
+	w, bias := m.Weights, m.Bias
 	for r := range outs {
 		ins := insRows[r]
 		if len(ins) != 1 {
@@ -347,14 +354,29 @@ func (k *LinearScoreKernel) RunBatch(ec *Exec, insRows [][]*vector.Vector, outs 
 		var margin float32
 		switch ins[0].Kind {
 		case vector.KindSparse:
-			margin = m.MarginSparse(ins[0].Idx, ins[0].Val)
+			margin = linalg.SparseDot(ins[0].Idx, ins[0].Val, w) + bias
 		case vector.KindDense:
-			margin = m.Margin(ins[0].Dense)
+			margin = linalg.Dot(w, ins[0].Dense) + bias
 		default:
 			return fmt.Errorf("plan: linear-score record %d expects a vector input, got %s", r, ins[0].Kind)
 		}
-		d := outs[r].UseDense(1)
-		d[0] = m.Link(margin)
+		outs[r].UseDense(1)[0] = margin
+	}
+	switch m.Kind {
+	case ml.LogisticRegression:
+		for r := range outs {
+			d := outs[r].Dense
+			d[0] = linalg.Sigmoid(d[0])
+		}
+	case ml.PoissonRegression:
+		for r := range outs {
+			d := outs[r].Dense
+			x := d[0]
+			if x > 30 {
+				x = 30
+			}
+			d[0] = linalg.Exp(x)
+		}
 	}
 	return nil
 }

@@ -57,7 +57,10 @@ func guardStage(s *Stage, kern Kernel, ec *Exec, ins []*vector.Vector, out *vect
 }
 
 // guardStageBatch is guardStage for the batch path: one recover
-// barrier around the whole stage event.
+// barrier around the whole stage event (each data-parallel subtask adds
+// its own barrier on top — see runStageBatchFanned). The fault hook
+// fires once per event, before the fan decision, so injected faults and
+// deliberate panics behave identically on both paths.
 func guardStageBatch(s *Stage, kern Kernel, ec *Exec, insRows [][]*vector.Vector, outs []*vector.Vector, accs []float32) (err error) {
 	defer func() {
 		if v := recover(); v != nil {
@@ -69,5 +72,12 @@ func guardStageBatch(s *Stage, kern Kernel, ec *Exec, insRows [][]*vector.Vector
 			return ferr
 		}
 	}
-	return runStageBatchInner(s, kern, ec, insRows, outs, accs)
+	if f := ec.Fan; f != nil && f.ShouldFan(len(outs)) {
+		return runStageBatchFanned(s, kern, ec, insRows, outs, accs)
+	}
+	hits, err := runStageBatchRange(s, kern, ec, insRows, outs, accs)
+	if hits > 0 {
+		s.metrics.cacheHits.Add(uint64(hits))
+	}
+	return err
 }

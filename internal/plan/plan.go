@@ -63,6 +63,13 @@ type Exec struct {
 	// batchsweep ablation baseline).
 	DisableBatchKernels bool
 
+	// Fan, when non-nil, lets RunStageBatch split a large batch into
+	// contiguous row-range subtasks run concurrently on the executor
+	// pool (data-parallel batch execution). Set once per executor by the
+	// scheduler; nil for request-path contexts, which keeps them on the
+	// sequential path with zero overhead beyond this one branch.
+	Fan Fanout
+
 	// Fault, when non-nil, is the kernel-level fault-injection hook:
 	// called (with FaultModel) inside the recover barrier before each
 	// stage kernel runs. It may return an error to inject a typed

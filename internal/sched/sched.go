@@ -169,10 +169,13 @@ func (j *Job) fail(err error) (first bool) {
 	return first
 }
 
-// event is one stage execution bound to a job.
+// event is one stage execution bound to a job, or — when sub is non-nil
+// — a data-parallel help event inviting an idle executor to claim row
+// ranges of an in-flight fanned stage (see fan.go).
 type event struct {
 	job   *Job
 	stage int
+	sub   *subtask
 }
 
 // queueShard is one independently locked two-priority FIFO pair. The
@@ -419,16 +422,26 @@ type Config struct {
 	// DisableBatchKernels forces every stage event onto the per-record
 	// kernel fallback (the batchsweep ablation baseline).
 	DisableBatchKernels bool
+	// BatchGrain is the row count above which a stage event fans out
+	// into row-range subtasks across idle executors (and the size of
+	// each range). Default 32.
+	BatchGrain int
+	// DisableParallelBatch keeps every stage event on the sequential
+	// single-executor path regardless of batch size (ablation baseline
+	// and the `-parallel-batch=false` server flag).
+	DisableParallelBatch bool
 }
 
 // Scheduler coordinates executors over the shared queues.
 type Scheduler struct {
-	cfg    Config
-	shared *queueSet
+	cfg     Config
+	shared  *queueSet
+	startNS int64
 
 	mu           sync.Mutex
 	reservations map[string]*queueSet
-	pools        []*vector.Pool // every executor-owned pool, for stats
+	pools        []*vector.Pool      // every executor-owned pool, for stats
+	execCounters []*executorCounters // every executor's utilization block
 
 	// White-box job accounting (Stats).
 	submitted atomic.Uint64
@@ -436,8 +449,23 @@ type Scheduler struct {
 	failedCnt atomic.Uint64
 	expired   atomic.Uint64
 
+	// Data-parallel accounting: stage events that fanned out, and the
+	// row-range subtasks they split into.
+	parallelStages   atomic.Uint64
+	parallelSubtasks atomic.Uint64
+
 	closed atomic.Bool
 	wg     sync.WaitGroup
+}
+
+// executorCounters is one executor's utilization block. Each executor
+// owns its own cache-line-padded block, so the hot-loop updates never
+// share a line with a neighbour.
+type executorCounters struct {
+	events   atomic.Uint64 // stage events executed
+	subtasks atomic.Uint64 // fanned row ranges executed (own + helped)
+	busyNS   atomic.Uint64 // time spent off the queue, working
+	_        [40]byte
 }
 
 // Stats is a white-box snapshot of the scheduler's job accounting.
@@ -458,6 +486,27 @@ type Stats struct {
 
 	Executors    int `json:"executors"`
 	Reservations int `json:"reservations"`
+
+	// ParallelStages counts stage events that fanned into row-range
+	// subtasks; ParallelSubtasks counts the ranges they split into.
+	ParallelStages   uint64 `json:"parallel_stages"`
+	ParallelSubtasks uint64 `json:"parallel_subtasks"`
+
+	// UptimeNS is nanoseconds since the scheduler started — the
+	// denominator for per-executor utilization (busy_ns / uptime_ns).
+	UptimeNS int64 `json:"uptime_ns"`
+
+	// ExecutorUtil is one entry per executor (shared pool first, then
+	// reservations in creation order): how many stage events and fanned
+	// row ranges it ran, and how long it spent working vs parked.
+	ExecutorUtil []ExecutorUtil `json:"executor_util"`
+}
+
+// ExecutorUtil is one executor's utilization snapshot.
+type ExecutorUtil struct {
+	Events   uint64 `json:"events"`
+	Subtasks uint64 `json:"subtasks"`
+	BusyNS   uint64 `json:"busy_ns"`
 }
 
 // Stats returns a snapshot of the scheduler's job counters and queue
@@ -470,6 +519,7 @@ func (s *Scheduler) Stats() Stats {
 	for _, qs := range s.reservations {
 		sets = append(sets, qs)
 	}
+	counters := append([]*executorCounters(nil), s.execCounters...)
 	s.mu.Unlock()
 	var hi, lo int64
 	for _, qs := range sets {
@@ -477,15 +527,27 @@ func (s *Scheduler) Stats() Stats {
 		hi += h
 		lo += l
 	}
+	util := make([]ExecutorUtil, len(counters))
+	for i, c := range counters {
+		util[i] = ExecutorUtil{
+			Events:   c.events.Load(),
+			Subtasks: c.subtasks.Load(),
+			BusyNS:   c.busyNS.Load(),
+		}
+	}
 	return Stats{
-		Submitted:    s.submitted.Load(),
-		Completed:    s.completed.Load(),
-		Failed:       s.failedCnt.Load(),
-		Expired:      s.expired.Load(),
-		QueueHigh:    hi,
-		QueueLow:     lo,
-		Executors:    s.cfg.Executors,
-		Reservations: nres,
+		Submitted:        s.submitted.Load(),
+		Completed:        s.completed.Load(),
+		Failed:           s.failedCnt.Load(),
+		Expired:          s.expired.Load(),
+		QueueHigh:        hi,
+		QueueLow:         lo,
+		Executors:        s.cfg.Executors,
+		Reservations:     nres,
+		ParallelStages:   s.parallelStages.Load(),
+		ParallelSubtasks: s.parallelSubtasks.Load(),
+		UptimeNS:         time.Now().UnixNano() - s.startNS,
+		ExecutorUtil:     util,
 	}
 }
 
@@ -502,9 +564,13 @@ func New(cfg Config) *Scheduler {
 	if cfg.Executors <= 0 {
 		cfg.Executors = 4
 	}
+	if cfg.BatchGrain <= 0 {
+		cfg.BatchGrain = 32
+	}
 	s := &Scheduler{
 		cfg:          cfg,
 		shared:       newQueueSet(cfg.Executors),
+		startNS:      time.Now().UnixNano(),
 		reservations: make(map[string]*queueSet),
 	}
 	for i := 0; i < cfg.Executors; i++ {
@@ -512,6 +578,16 @@ func New(cfg Config) *Scheduler {
 		go s.executor(s.shared, i, s.newExecutorPool())
 	}
 	return s
+}
+
+// newExecutorCounters builds one executor's utilization block and
+// records it for Stats aggregation.
+func (s *Scheduler) newExecutorCounters() *executorCounters {
+	c := &executorCounters{}
+	s.mu.Lock()
+	s.execCounters = append(s.execCounters, c)
+	s.mu.Unlock()
+	return c
 }
 
 // newExecutorPool builds one executor's vector pool and records it for
@@ -623,13 +699,26 @@ func (s *Scheduler) Close() {
 // locality, §4.2.1).
 func (s *Scheduler) executor(qs *queueSet, idx int, pool *vector.Pool) {
 	defer s.wg.Done()
+	c := s.newExecutorCounters()
 	ec := &plan.Exec{Pool: pool, Shard: pool.ShardHint(), DisableBatchKernels: s.cfg.DisableBatchKernels}
+	if !s.cfg.DisableParallelBatch {
+		ec.Fan = &fanout{s: s, qs: qs, idx: idx, ec: ec, grain: s.cfg.BatchGrain, counters: c}
+	}
 	for {
 		ev, ok := qs.pop(idx)
 		if !ok {
 			return
 		}
-		s.exec(ev, ec, qs, idx)
+		start := time.Now()
+		if ev.sub != nil {
+			// Help event: claim row ranges of an in-flight fanned stage.
+			// Popped after the ranges are exhausted it is a no-op.
+			c.subtasks.Add(ev.sub.runRanges(ec))
+		} else {
+			s.exec(ev, ec, qs, idx)
+			c.events.Add(1)
+		}
+		c.busyNS.Add(uint64(time.Since(start)))
 	}
 }
 

@@ -185,6 +185,31 @@ func (v *Vector) AppendSparse(idx int32, val float32) {
 	v.Val = append(v.Val, val)
 }
 
+// AppendSparseShifted bulk-appends a sparse block with every index
+// shifted by off. The copies are whole-slice appends and the shift runs
+// as one blocked pass over the freshly appended region — the wide form
+// of calling AppendSparse(off+idx[k], val[k]) per element.
+func (v *Vector) AppendSparseShifted(off int32, idx []int32, val []float32) {
+	n := len(v.Idx)
+	v.Idx = append(v.Idx, idx...)
+	v.Val = append(v.Val, val...)
+	if off == 0 {
+		return
+	}
+	ix := v.Idx[n:]
+	for len(ix) >= 4 {
+		i4 := ix[:4]
+		i4[0] += off
+		i4[1] += off
+		i4[2] += off
+		i4[3] += off
+		ix = ix[4:]
+	}
+	for i := range ix {
+		ix[i] += off
+	}
+}
+
 // NNZ returns the number of stored non-zeros of a sparse vector.
 func (v *Vector) NNZ() int { return len(v.Idx) }
 
